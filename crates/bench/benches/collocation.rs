@@ -1,0 +1,50 @@
+//! Criterion bench behind Fig. 6: interference-matrix evaluation and Eq. 4
+//! aggregation cost — these sit on the scheduler's hot path (`getInter()`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gts_core::perf::interference::{pairwise_slowdown, total_slowdown};
+use gts_core::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_collocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_collocation");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+
+    group.bench_function("full_matrix", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for victim in BatchClass::ALL {
+                for aggressor in BatchClass::ALL {
+                    sum += pairwise_slowdown(
+                        (NnModel::AlexNet, victim),
+                        (NnModel::AlexNet, aggressor),
+                        1.0,
+                    );
+                }
+            }
+            black_box(sum)
+        })
+    });
+
+    // Eq. 4 with a realistic co-runner population (8 jobs on one machine).
+    let corunners: Vec<(NnModel, BatchClass, f64)> = (0..8)
+        .map(|i| {
+            (
+                NnModel::ALL[i % 3],
+                BatchClass::ALL[i % 4],
+                if i % 2 == 0 { 1.0 } else { 0.35 },
+            )
+        })
+        .collect();
+    group.bench_function("total_slowdown_8_corunners", |b| {
+        b.iter(|| black_box(total_slowdown((NnModel::AlexNet, BatchClass::Tiny), &corunners)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collocation);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion bench behind ablation A2: Fiduccia–Mattheyses and DRB cost
+//! versus machine size and job width — the `Θ(|E_A|·log₂|V_P|)` claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gts_core::map::{drb_map, fm_bipartition, AffinityGraph, PlacementOracle, UtilityWeights};
+use gts_core::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+struct IdleOracle<'a> {
+    machine: &'a MachineTopology,
+}
+
+impl PlacementOracle for IdleOracle<'_> {
+    fn distance(&self, a: GpuId, b: GpuId) -> f64 {
+        self.machine.distance(a, b)
+    }
+    fn interference(&self, _gpus: &[GpuId]) -> f64 {
+        1.0
+    }
+    fn fragmentation_after(&self, _gpus: &[GpuId]) -> f64 {
+        0.5
+    }
+}
+
+fn bench_fm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_fm_bipartition");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+
+    for &(sockets, per_socket) in &[(2usize, 2usize), (2, 4), (4, 4), (4, 8)] {
+        let machine = symmetric_machine("bench", sockets, per_socket, LinkProfile::nvlink_dual());
+        let gpus: Vec<GpuId> = machine.gpus().collect();
+        let graph = AffinityGraph::from_machine(&machine, &gpus);
+        let n = gpus.len();
+        group.bench_with_input(BenchmarkId::new("gpus", n), &n, |b, _| {
+            b.iter(|| black_box(fm_bipartition(&graph, n / 2, 3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_drb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_drb_map");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+
+    for &(sockets, per_socket, tasks) in &[(2usize, 2usize, 2usize), (2, 4, 4), (4, 4, 8), (4, 8, 16)] {
+        let machine = symmetric_machine("bench", sockets, per_socket, LinkProfile::nvlink_dual());
+        let oracle = IdleOracle { machine: &machine };
+        let gpus: Vec<GpuId> = machine.gpus().collect();
+        let job = JobGraph::uniform(tasks, 4.0);
+        let label = format!("{tasks}tasks_{}gpus", gpus.len());
+        group.bench_function(BenchmarkId::new("map", label), |b| {
+            b.iter(|| {
+                black_box(drb_map(&job, &gpus, &oracle, UtilityWeights::default()).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fm_passes(c: &mut Criterion) {
+    // A2: does FM quality/cost scale with pass count? (The cut converges in
+    // 1–2 passes on topology graphs; extra passes only cost time.)
+    let machine = symmetric_machine("bench", 4, 8, LinkProfile::nvlink_dual());
+    let gpus: Vec<GpuId> = machine.gpus().collect();
+    let graph = AffinityGraph::from_machine(&machine, &gpus);
+    let n = gpus.len();
+
+    let mut group = c.benchmark_group("a2_fm_passes");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for passes in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("passes", passes), &passes, |b, &p| {
+            b.iter(|| black_box(fm_bipartition(&graph, n / 2, p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fm, bench_drb, bench_fm_passes);
+criterion_main!(benches);

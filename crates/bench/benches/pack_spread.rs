@@ -1,0 +1,45 @@
+//! Criterion bench behind Fig. 4: cost of evaluating pack/spread placement
+//! performance across the batch sweep, per network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gts_core::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_pack_spread(c: &mut Criterion) {
+    let machine = power8_minsky();
+    let pack = [GpuId(0), GpuId(1)];
+    let spread = [GpuId(0), GpuId(2)];
+
+    let mut group = c.benchmark_group("fig4_pack_spread");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+
+    for model in NnModel::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("speedup_sweep", model.to_string()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    let mut total = 0.0;
+                    for batch in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+                        let tp = PlacementPerf::evaluate(&machine, &pack)
+                            .iter_time(model, batch)
+                            .total_s();
+                        let ts = PlacementPerf::evaluate(&machine, &spread)
+                            .iter_time(model, batch)
+                            .total_s();
+                        total += ts / tp;
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack_spread);
+criterion_main!(benches);

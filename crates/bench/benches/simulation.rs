@@ -1,0 +1,71 @@
+//! Criterion bench for the evaluation substrate itself: end-to-end
+//! simulation throughput per policy (Fig. 10/11 machinery) and the
+//! utility-weight ablation's inner loop (A1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gts_core::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_simulation(c: &mut Criterion) {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, 5));
+    let trace = WorkloadGenerator::with_defaults(1001).generate(100);
+
+    let mut group = c.benchmark_group("sim_scenario1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(BenchmarkId::new("policy", kind.to_string()), &kind, |b, &kind| {
+            b.iter(|| {
+                black_box(simulate(
+                    Arc::clone(&cluster),
+                    Arc::clone(&profiles),
+                    Policy::new(kind),
+                    trace.clone(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_ablation(c: &mut Criterion) {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, 3));
+    let trace = WorkloadGenerator::with_defaults(5).generate(40);
+
+    let mut group = c.benchmark_group("a1_weight_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    for (label, cc, b_, d) in [
+        ("comm_only", 1.0, 0.0, 0.0),
+        ("equal", 1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0),
+        ("frag_only", 0.0, 0.0, 1.0),
+    ] {
+        let weights = UtilityWeights::new(cc, b_, d).expect("valid");
+        group.bench_function(BenchmarkId::new("weights", label), |bch| {
+            bch.iter(|| {
+                black_box(simulate(
+                    Arc::clone(&cluster),
+                    Arc::clone(&profiles),
+                    Policy { kind: PolicyKind::TopoAwareP, weights },
+                    trace.clone(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_weight_ablation);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Fig. 4 — pack (P2P) vs spread (no-P2P) speedup across batch sizes.
+//!
+//! "When the speedup is higher than 1, pack is better than spread."
+
+use super::{minsky_cluster, pack_spread_pairs};
+use crate::table::{f, TextTable};
+use gts_core::prelude::*;
+
+/// The paper's batch-size sweep.
+pub const BATCHES: [u32; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// One speedup point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Point {
+    /// Network.
+    pub model: NnModel,
+    /// Per-GPU batch size.
+    pub batch: u32,
+    /// `t_spread / t_pack`.
+    pub speedup: f64,
+}
+
+/// Speedup of pack over spread on a given machine model.
+pub fn speedup_on(machine: &MachineTopology, model: NnModel, batch: u32) -> f64 {
+    let (pack, spread) = pack_spread_pairs(machine);
+    let t_pack = PlacementPerf::evaluate(machine, &pack)
+        .iter_time(model, batch)
+        .total_s();
+    let t_spread = PlacementPerf::evaluate(machine, &spread)
+        .iter_time(model, batch)
+        .total_s();
+    t_spread / t_pack
+}
+
+/// Computes every point of Fig. 4 (Minsky/NVLink machine).
+pub fn run() -> Vec<Fig4Point> {
+    let (cluster, _) = minsky_cluster(1);
+    let machine = cluster.machine(MachineId(0));
+    let mut points = Vec::with_capacity(NnModel::ALL.len() * BATCHES.len());
+    for model in NnModel::ALL {
+        for batch in BATCHES {
+            points.push(Fig4Point {
+                model,
+                batch,
+                speedup: speedup_on(machine, model, batch),
+            });
+        }
+    }
+    points
+}
+
+/// Renders the Fig. 4 series.
+pub fn render() -> String {
+    let points = run();
+    let mut t = TextTable::new(
+        "Fig. 4 — pack vs spread speedup (>1 means pack wins)",
+        &["batch", "AlexNet", "CaffeRef", "GoogLeNet"],
+    );
+    for batch in BATCHES {
+        let get = |m: NnModel| {
+            points
+                .iter()
+                .find(|p| p.model == m && p.batch == batch)
+                .map(|p| f(p.speedup, 3))
+                .unwrap_or_default()
+        };
+        t.row(vec![
+            batch.to_string(),
+            get(NnModel::AlexNet),
+            get(NnModel::CaffeRef),
+            get(NnModel::GoogLeNet),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speedup(points: &[Fig4Point], m: NnModel, b: u32) -> f64 {
+        points
+            .iter()
+            .find(|p| p.model == m && p.batch == b)
+            .unwrap()
+            .speedup
+    }
+
+    #[test]
+    fn paper_anchors() {
+        let points = run();
+        // AlexNet batch 1–2: ≈1.30×.
+        assert!((1.25..1.35).contains(&speedup(&points, NnModel::AlexNet, 1)));
+        assert!((1.2..1.35).contains(&speedup(&points, NnModel::AlexNet, 2)));
+        // "For batch sizes larger than 16 both pack or spread have even
+        // performance."
+        for b in [32, 64, 128] {
+            let s = speedup(&points, NnModel::AlexNet, b);
+            assert!((0.98..1.08).contains(&s), "batch {b}: {s}");
+        }
+        // GoogLeNet: "less or no impact".
+        for b in BATCHES {
+            let s = speedup(&points, NnModel::GoogLeNet, b);
+            assert!((0.98..1.08).contains(&s), "batch {b}: {s}");
+        }
+    }
+
+    #[test]
+    fn alexnet_speedup_decays_monotonically() {
+        let points = run();
+        let series: Vec<f64> = BATCHES
+            .iter()
+            .map(|&b| speedup(&points, NnModel::AlexNet, b))
+            .collect();
+        for w in series.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "{series:?}");
+        }
+    }
+
+    #[test]
+    fn caffe_ref_tracks_just_below_alexnet() {
+        let points = run();
+        for b in [1u32, 2, 4] {
+            let a = speedup(&points, NnModel::AlexNet, b);
+            let c = speedup(&points, NnModel::CaffeRef, b);
+            assert!(c <= a + 1e-9, "batch {b}: CaffeRef {c} vs AlexNet {a}");
+            assert!(c > 1.15, "batch {b}: CaffeRef should still benefit: {c}");
+        }
+    }
+
+    #[test]
+    fn renders_all_batches() {
+        let s = render();
+        for b in BATCHES {
+            assert!(s.contains(&format!("\n  {b}")), "missing batch {b}");
+        }
+    }
+}

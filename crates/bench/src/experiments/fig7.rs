@@ -1,0 +1,34 @@
+//! Fig. 7 — the multi-level physical-topology graphs themselves, exported
+//! as Graphviz DOT (render with `dot -Tsvg`).
+
+use gts_core::prelude::*;
+use gts_core::topo::to_dot;
+
+/// DOT for the Power8 Minsky graph (Fig. 7 left).
+pub fn minsky_dot() -> String {
+    to_dot(power8_minsky().graph(), "power8-minsky")
+}
+
+/// DOT for the DGX-1 graph (Fig. 7 right).
+pub fn dgx1_dot() -> String {
+    to_dot(dgx1().graph(), "dgx-1")
+}
+
+/// Renders both graphs.
+pub fn render() -> String {
+    format!(
+        "Fig. 7 — physical topology graphs (Graphviz DOT; pipe into `dot -Tsvg`)\n\n{}\n{}",
+        minsky_dot(),
+        dgx1_dot()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn both_graphs_render() {
+        let s = super::render();
+        assert!(s.contains("graph \"power8-minsky\""));
+        assert!(s.contains("graph \"dgx-1\""));
+    }
+}

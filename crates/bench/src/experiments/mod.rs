@@ -1,0 +1,71 @@
+//! Experiment regenerators, one per table/figure (DESIGN.md §3 index).
+
+pub mod ablation;
+pub mod failures;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod hetero;
+pub mod modelpar;
+pub mod overhead;
+pub mod pcie;
+pub mod spill;
+pub mod table1;
+pub mod validate;
+
+use gts_core::prelude::*;
+use std::sync::Arc;
+
+/// The standard testbed: a homogeneous cluster of Power8 Minsky machines
+/// with profiles generated at a fixed seed (§5.1's measurement campaign).
+pub fn minsky_cluster(n_machines: usize) -> (Arc<ClusterTopology>, Arc<ProfileLibrary>) {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+    (cluster, profiles)
+}
+
+/// Runs one policy over a trace on a Minsky cluster.
+pub fn run_policy(
+    cluster: &Arc<ClusterTopology>,
+    profiles: &Arc<ProfileLibrary>,
+    kind: PolicyKind,
+    trace: Vec<JobSpec>,
+) -> SimResult {
+    simulate(
+        Arc::clone(cluster),
+        Arc::clone(profiles),
+        Policy::new(kind),
+        trace,
+    )
+}
+
+/// The pack/spread reference allocations on a 2-socket machine.
+pub fn pack_spread_pairs(machine: &MachineTopology) -> (Vec<GpuId>, Vec<GpuId>) {
+    let s0 = machine.gpus_in_socket(SocketId(0));
+    let s1 = machine.gpus_in_socket(SocketId(1));
+    let pack = vec![s0[0], s0[1]];
+    let spread = vec![s0[0], s1[0]];
+    (pack, spread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_setup() {
+        let (c, p) = minsky_cluster(3);
+        assert_eq!(c.n_machines(), 3);
+        assert_eq!(p.len(), 12);
+        let (pack, spread) = pack_spread_pairs(c.machine(MachineId(0)));
+        assert!(c.machine(MachineId(0)).is_packed(&pack));
+        assert!(!c.machine(MachineId(0)).is_packed(&spread));
+    }
+}

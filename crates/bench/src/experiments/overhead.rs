@@ -1,0 +1,130 @@
+//! §5.5.3 — scheduler decision overhead.
+//!
+//! The paper: at the 10 k-job / 1 k-machine scale, TOPO-AWARE(-P) spends
+//! ≈3 s per placement decision versus ≈0.45 s for the greedy policies
+//! (≈6.7×) — the price of the `Θ(|V_P|)·Θ(|E_A|·log₂|V_P|)` search versus
+//! `Θ(|E_A|+|V_P|)` greediness. Absolute numbers depend on the host; the
+//! *ratio* and its growth with machine count are the reproducible shape.
+
+use super::minsky_cluster;
+use crate::table::{f, TextTable};
+use gts_core::prelude::*;
+use std::time::Instant;
+
+/// Mean decision latency of one policy at one cluster size.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadPoint {
+    /// Policy measured.
+    pub kind: PolicyKind,
+    /// Machines in the cluster.
+    pub n_machines: usize,
+    /// Mean decision latency, seconds.
+    pub mean_s: f64,
+}
+
+/// Measures mean `decide()` latency against a half-loaded cluster.
+///
+/// The state is loaded once (placing one 2-GPU job on every even machine,
+/// so every machine keeps capacity and the topology-aware search cannot
+/// short-circuit), then each generated job is *decided but not placed* —
+/// isolating pure decision cost exactly as §5.5.3 reports it.
+pub fn measure(kind: PolicyKind, n_machines: usize, n_decisions: usize) -> OverheadPoint {
+    let (cluster, profiles) = minsky_cluster(n_machines);
+    let mut state = ClusterState::new(cluster, profiles);
+
+    let mut gen = WorkloadGenerator::with_defaults(99);
+    for (i, mut job) in gen.generate(n_machines / 2).into_iter().enumerate() {
+        job.n_gpus = 2;
+        let machine = MachineId((2 * i) as u32);
+        let gpus: Vec<GlobalGpuId> = state.free_gpus(machine)[..2]
+            .iter()
+            .map(|&gpu| GlobalGpuId { machine, gpu })
+            .collect();
+        state.place(job, gpus, 1.0);
+    }
+
+    let policy = Policy::new(kind);
+    let burst = gen.generate(n_decisions);
+    let started = Instant::now();
+    for job in &burst {
+        let decision = policy.decide(&state, job);
+        std::hint::black_box(&decision);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    OverheadPoint { kind, n_machines, mean_s: elapsed / n_decisions as f64 }
+}
+
+/// Runs the comparison at several cluster sizes.
+pub fn run(sizes: &[usize], n_decisions: usize) -> Vec<OverheadPoint> {
+    let mut points = Vec::new();
+    for &n in sizes {
+        for kind in PolicyKind::ALL {
+            points.push(measure(kind, n, n_decisions));
+        }
+    }
+    points
+}
+
+/// Renders the overhead table with the topo/greedy ratio per size.
+pub fn render(sizes: &[usize], n_decisions: usize) -> String {
+    let points = run(sizes, n_decisions);
+    let mut t = TextTable::new(
+        "§5.5.3 — mean placement-decision latency",
+        &["machines", "FCFS (ms)", "BF (ms)", "TOPO-AWARE (ms)", "TOPO-AWARE-P (ms)", "topo/greedy ratio"],
+    );
+    for &n in sizes {
+        let get = |k: PolicyKind| {
+            points
+                .iter()
+                .find(|p| p.kind == k && p.n_machines == n)
+                .map(|p| p.mean_s)
+                .unwrap_or(0.0)
+        };
+        let greedy = 0.5 * (get(PolicyKind::Fcfs) + get(PolicyKind::BestFit));
+        let topo = 0.5 * (get(PolicyKind::TopoAware) + get(PolicyKind::TopoAwareP));
+        t.row(vec![
+            n.to_string(),
+            f(get(PolicyKind::Fcfs) * 1e3, 3),
+            f(get(PolicyKind::BestFit) * 1e3, 3),
+            f(get(PolicyKind::TopoAware) * 1e3, 3),
+            f(get(PolicyKind::TopoAwareP) * 1e3, 3),
+            format!("{:.1}x", topo / greedy.max(1e-12)),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_aware_costs_more_than_greedy() {
+        let ta = measure(PolicyKind::TopoAware, 40, 30);
+        let fcfs = measure(PolicyKind::Fcfs, 40, 30);
+        assert!(
+            ta.mean_s > fcfs.mean_s,
+            "TA {:.2e}s should exceed FCFS {:.2e}s",
+            ta.mean_s,
+            fcfs.mean_s
+        );
+    }
+
+    #[test]
+    fn overhead_grows_with_cluster_size() {
+        let small = measure(PolicyKind::TopoAware, 10, 20);
+        let large = measure(PolicyKind::TopoAware, 80, 20);
+        assert!(
+            large.mean_s > small.mean_s,
+            "80 machines {:.2e}s vs 10 machines {:.2e}s",
+            large.mean_s,
+            small.mean_s
+        );
+    }
+
+    #[test]
+    fn renders() {
+        let s = render(&[5], 5);
+        assert!(s.contains("ratio"));
+    }
+}

@@ -1,0 +1,249 @@
+//! The reproduction scorecard: every paper claim as a programmatic check.
+//!
+//! `repro validate` runs the full battery and prints one verdict per claim —
+//! the same assertions the test suite enforces, gathered into a single
+//! human-readable report for EXPERIMENTS.md audits.
+
+use super::{fig10, fig4, fig5, fig6, fig8, fig9, overhead, pcie};
+use crate::table::TextTable;
+use gts_core::prelude::*;
+
+/// One checked claim.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Which figure/section the claim comes from.
+    pub source: &'static str,
+    /// The claim, paraphrased.
+    pub claim: &'static str,
+    /// What we measured, formatted.
+    pub measured: String,
+    /// Did the measured value satisfy the claim?
+    pub pass: bool,
+}
+
+fn check(
+    source: &'static str,
+    claim: &'static str,
+    measured: String,
+    pass: bool,
+) -> Check {
+    Check { source, claim, measured, pass }
+}
+
+/// Runs the full scorecard. Expensive pieces reuse the standard seeds so
+/// results match the documented tables.
+pub fn run() -> Vec<Check> {
+    let mut checks = Vec::new();
+
+    // Fig. 4 anchors.
+    let f4 = fig4::run();
+    let s = |m: NnModel, b: u32| {
+        f4.iter()
+            .find(|p| p.model == m && p.batch == b)
+            .map(|p| p.speedup)
+            .unwrap_or(f64::NAN)
+    };
+    let a1 = s(NnModel::AlexNet, 1);
+    checks.push(check(
+        "Fig. 4",
+        "AlexNet batch 1 pack speedup ≈ 1.30×",
+        format!("{a1:.3}x"),
+        (1.25..1.35).contains(&a1),
+    ));
+    let a128 = s(NnModel::AlexNet, 128);
+    checks.push(check(
+        "Fig. 4",
+        "parity past batch 16 (batch 128 ≈ 1.0×)",
+        format!("{a128:.3}x"),
+        (0.98..1.05).contains(&a128),
+    ));
+    let g1 = s(NnModel::GoogLeNet, 1);
+    checks.push(check(
+        "Fig. 4",
+        "GoogLeNet shows little or no impact",
+        format!("{g1:.3}x"),
+        (0.98..1.08).contains(&g1),
+    ));
+
+    // Fig. 5 endpoints.
+    let traces = fig5::run(42);
+    let bw = |b: u32| {
+        traces
+            .iter()
+            .find(|t| t.batch == b)
+            .map(|t| t.trace.mean_gbs())
+            .unwrap_or(f64::NAN)
+    };
+    checks.push(check(
+        "Fig. 5",
+        "NVLink ≈ 40 GB/s at batch 1",
+        format!("{:.1} GB/s", bw(1)),
+        (37.0..43.0).contains(&bw(1)),
+    ));
+    checks.push(check(
+        "Fig. 5",
+        "NVLink ≈ 6 GB/s at batch 128",
+        format!("{:.1} GB/s", bw(128)),
+        (4.5..7.5).contains(&bw(128)),
+    ));
+
+    // Fig. 6 anchors.
+    let m6 = fig6::run(1.0);
+    let cell = |v: BatchClass, a: BatchClass| m6.slowdown[v.index()][a.index()];
+    let tt = cell(BatchClass::Tiny, BatchClass::Tiny);
+    checks.push(check(
+        "Fig. 6",
+        "tiny|tiny collocation slowdown ≈ 30 %",
+        format!("{:.1} %", tt * 100.0),
+        (tt - 0.30).abs() < 0.02,
+    ));
+    let tb = cell(BatchClass::Tiny, BatchClass::Big);
+    checks.push(check(
+        "Fig. 6",
+        "tiny suffers ≈ 24 % from a big-batch aggressor",
+        format!("{:.1} %", tb * 100.0),
+        (tb - 0.24).abs() < 0.02,
+    ));
+    let bb = cell(BatchClass::Big, BatchClass::Big);
+    checks.push(check(
+        "Fig. 6",
+        "big|big interference ≈ none",
+        format!("{:.1} %", bb * 100.0),
+        bb < 0.03,
+    ));
+
+    // Fig. 8 headline.
+    let runs = fig8::run();
+    let makespan = |k: PolicyKind| {
+        runs.iter()
+            .find(|r| r.kind == k)
+            .map(|r| r.result.makespan_s)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup = makespan(PolicyKind::BestFit) / makespan(PolicyKind::TopoAwareP);
+    checks.push(check(
+        "Fig. 8",
+        "TOPO-AWARE-P ≈ 1.27–1.30× faster cumulative time",
+        format!("{speedup:.2}x"),
+        (1.15..1.45).contains(&speedup),
+    ));
+    let tap_viol = runs
+        .iter()
+        .find(|r| r.kind == PolicyKind::TopoAwareP)
+        .map(|r| r.result.slo_violations)
+        .unwrap_or(99);
+    checks.push(check(
+        "Fig. 8",
+        "TOPO-AWARE-P has zero SLO violations",
+        format!("{tap_viol}"),
+        tap_viol == 0,
+    ));
+    let greedy_spread = (makespan(PolicyKind::Fcfs) - makespan(PolicyKind::TopoAware)).abs()
+        / makespan(PolicyKind::TopoAware);
+    checks.push(check(
+        "Fig. 8",
+        "FCFS/BF/TOPO-AWARE cluster within a few percent",
+        format!("{:.1} % spread", greedy_spread * 100.0),
+        greedy_spread < 0.05,
+    ));
+
+    // Fig. 9 validation.
+    let rows = fig9::run(PolicyKind::TopoAwareP);
+    let worst_rel = rows.iter().map(|r| r.rel_error()).fold(0.0, f64::max);
+    checks.push(check(
+        "Fig. 9",
+        "simulator matches the prototype per job",
+        format!("worst rel. error {:.1} %", worst_rel * 100.0),
+        worst_rel < 0.15,
+    ));
+
+    // Fig. 10 orderings.
+    let s10 = fig10::run(100, 5, 1001);
+    let by = |k: PolicyKind| s10.iter().find(|x| x.kind == k).unwrap();
+    checks.push(check(
+        "Fig. 10",
+        "TOPO-AWARE-P violates no SLOs at cluster scale",
+        format!("{}", by(PolicyKind::TopoAwareP).slo_violations),
+        by(PolicyKind::TopoAwareP).slo_violations == 0,
+    ));
+    checks.push(check(
+        "Fig. 10",
+        "topology-aware policies cut queue waiting time",
+        format!(
+            "{:.0} s (TA-P) vs {:.0} s (FCFS)",
+            by(PolicyKind::TopoAwareP).mean_wait_s,
+            by(PolicyKind::Fcfs).mean_wait_s
+        ),
+        by(PolicyKind::TopoAwareP).mean_wait_s < by(PolicyKind::Fcfs).mean_wait_s,
+    ));
+    checks.push(check(
+        "abstract",
+        "higher effective resource utilization",
+        format!(
+            "{:.1} % (TA-P) vs {:.1} % (FCFS)",
+            by(PolicyKind::TopoAwareP).gpu_utilization * 100.0,
+            by(PolicyKind::Fcfs).gpu_utilization * 100.0
+        ),
+        by(PolicyKind::TopoAwareP).gpu_utilization > by(PolicyKind::Fcfs).gpu_utilization,
+    ));
+
+    // §5.5.3 overhead asymmetry.
+    let fcfs = overhead::measure(PolicyKind::Fcfs, 100, 30);
+    let ta = overhead::measure(PolicyKind::TopoAware, 100, 30);
+    let ratio = ta.mean_s / fcfs.mean_s.max(1e-12);
+    checks.push(check(
+        "§5.5.3",
+        "topology-aware decisions cost more than greedy",
+        format!("{ratio:.0}x at 100 machines"),
+        ratio > 2.0,
+    ));
+
+    // §3.2 PCIe ordering.
+    let pcie_points = pcie::run();
+    let p1 = pcie_points.iter().find(|p| p.batch == 1).unwrap();
+    checks.push(check(
+        "§3.2",
+        "PCIe machine still benefits from pack, less than NVLink",
+        format!("NVLink {:.2}x vs PCIe {:.2}x", p1.nvlink, p1.pcie),
+        p1.pcie > 1.05 && p1.nvlink > p1.pcie,
+    ));
+
+    checks
+}
+
+/// Renders the scorecard.
+pub fn render() -> String {
+    let checks = run();
+    let mut t = TextTable::new(
+        "Reproduction scorecard — paper claims vs this implementation",
+        &["source", "claim", "measured", "verdict"],
+    );
+    let mut passed = 0;
+    for c in &checks {
+        if c.pass {
+            passed += 1;
+        }
+        t.row(vec![
+            c.source.to_string(),
+            c.claim.to_string(),
+            c.measured.clone(),
+            if c.pass { "PASS".into() } else { "FAIL".into() },
+        ]);
+    }
+    format!("{t}  {passed}/{} claims reproduced\n", checks.len())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_claim_passes() {
+        let checks = super::run();
+        let failed: Vec<String> = checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| format!("{}: {} (measured {})", c.source, c.claim, c.measured))
+            .collect();
+        assert!(failed.is_empty(), "failed claims:\n{}", failed.join("\n"));
+        assert!(checks.len() >= 15);
+    }
+}

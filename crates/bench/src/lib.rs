@@ -1,0 +1,15 @@
+//! # gts-bench — the per-figure reproduction harness
+//!
+//! One module per table/figure of the paper's evaluation (see DESIGN.md §3
+//! for the experiment index). Each module exposes a `run()` returning
+//! structured rows plus a `render()` producing the aligned text table the
+//! `repro` binary prints; integration tests assert the paper's qualitative
+//! claims against the structured form.
+
+#![warn(missing_docs)]
+
+pub mod appendix;
+pub mod experiments;
+pub mod table;
+
+pub use table::TextTable;

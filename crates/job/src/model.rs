@@ -1,0 +1,131 @@
+//! The neural-network models evaluated in the paper.
+//!
+//! §2: the prototype trains Caffe's AlexNet, CaffeRef (an AlexNet variant)
+//! and GoogLeNet on ImageNet-2014. The structural facts relevant to
+//! scheduling are the gradient size (what gets exchanged every iteration)
+//! and the per-sample compute cost; both use published model characteristics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Caffe network from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum NnModel {
+    /// AlexNet: ≈61 M parameters, light per-sample compute → the most
+    /// communication-sensitive network in Fig. 4.
+    AlexNet,
+    /// CaffeRef (CaffeNet): AlexNet-derived, ≈62 M parameters, slightly
+    /// heavier compute.
+    CaffeRef,
+    /// GoogLeNet: only ≈7 M parameters thanks to its Inception modules
+    /// ("GoogLeNet performs less communication because of its Inception
+    /// Modules", §3.2) but ≈2.6× AlexNet's per-sample compute.
+    GoogLeNet,
+}
+
+impl NnModel {
+    /// All models, in the paper's 0/1/2 generator encoding
+    /// (0=AlexNet, 1=CaffeRef, 2=GoogLeNet; §5.3).
+    pub const ALL: [NnModel; 3] = [NnModel::AlexNet, NnModel::CaffeRef, NnModel::GoogLeNet];
+
+    /// Trainable parameter count.
+    pub fn parameters(self) -> u64 {
+        match self {
+            NnModel::AlexNet => 61_000_000,
+            NnModel::CaffeRef => 62_000_000,
+            NnModel::GoogLeNet => 7_000_000,
+        }
+    }
+
+    /// Gradient bytes exchanged per iteration (fp32 parameters).
+    pub fn gradient_bytes(self) -> u64 {
+        self.parameters() * 4
+    }
+
+    /// Relative per-sample compute cost (AlexNet ≡ 1.0).
+    pub fn compute_scale(self) -> f64 {
+        match self {
+            NnModel::AlexNet => 1.0,
+            NnModel::CaffeRef => 1.05,
+            NnModel::GoogLeNet => 2.6,
+        }
+    }
+
+    /// Generator index (the paper's Binomial over 0..=2).
+    pub fn index(self) -> usize {
+        match self {
+            NnModel::AlexNet => 0,
+            NnModel::CaffeRef => 1,
+            NnModel::GoogLeNet => 2,
+        }
+    }
+
+    /// Inverse of [`NnModel::index`].
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// One-letter code used in Table 1 (A=AlexNet, C=CaffeRef, G=GoogLeNet).
+    pub fn code(self) -> char {
+        match self {
+            NnModel::AlexNet => 'A',
+            NnModel::CaffeRef => 'C',
+            NnModel::GoogLeNet => 'G',
+        }
+    }
+}
+
+impl fmt::Display for NnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NnModel::AlexNet => "AlexNet",
+            NnModel::CaffeRef => "CaffeRef",
+            NnModel::GoogLeNet => "GoogLeNet",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn googlenet_is_the_small_gradient_model() {
+        assert!(NnModel::GoogLeNet.gradient_bytes() < NnModel::AlexNet.gradient_bytes() / 5);
+        assert!(NnModel::GoogLeNet.compute_scale() > NnModel::AlexNet.compute_scale());
+    }
+
+    #[test]
+    fn alexnet_gradient_is_about_244_mb() {
+        let mb = NnModel::AlexNet.gradient_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((230.0..250.0).contains(&mb), "got {mb} MB");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, m) in NnModel::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(NnModel::from_index(i), Some(*m));
+        }
+        assert_eq!(NnModel::from_index(3), None);
+    }
+
+    #[test]
+    fn table1_codes() {
+        assert_eq!(NnModel::AlexNet.code(), 'A');
+        assert_eq!(NnModel::CaffeRef.code(), 'C');
+        assert_eq!(NnModel::GoogLeNet.code(), 'G');
+    }
+
+    #[test]
+    fn serde_lowercase() {
+        assert_eq!(
+            serde_json::to_string(&NnModel::GoogLeNet).unwrap(),
+            "\"googlenet\""
+        );
+        let m: NnModel = serde_json::from_str("\"alexnet\"").unwrap();
+        assert_eq!(m, NnModel::AlexNet);
+    }
+}

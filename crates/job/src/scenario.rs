@@ -1,0 +1,90 @@
+//! Canned experiment scenarios from the paper.
+
+use crate::batch::BatchClass;
+use crate::model::NnModel;
+use crate::spec::JobSpec;
+
+/// The six-job prototype scenario of Table 1 (§5.2.1).
+///
+/// | Config       | Job0 | Job1 | Job2 | Job3 | Job4 | Job5 |
+/// |--------------|------|------|------|------|------|------|
+/// | DL NN        | A    | G    | A    | A    | A    | C    |
+/// | Batch size   | 1    | 4    | 1    | 4    | 1    | 1    |
+/// | Num. GPUs    | 1    | 1    | 1    | 2    | 2    | 2    |
+/// | Min. utility | 0.3  | 0.3  | 0.3  | 0.5  | 0.5  | 0.5  |
+/// | Arrival (s)  | 0.51 | 15.03| 24.36| 25.33| 29.33| 29.89|
+///
+/// Iteration budgets are not part of Table 1 (the paper runs up to 4 000
+/// iterations and kills jobs on a wall-clock schedule); ours are calibrated
+/// so that solo-packed durations land on the Fig. 8 timeline scale
+/// (jobs of ≈50–130 s on a 4-GPU Minsky).
+pub fn table1() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, 1)
+            .arriving_at(0.51)
+            .with_min_utility(0.3)
+            .with_iterations(2800),
+        JobSpec::new(1, NnModel::GoogLeNet, BatchClass::Small, 1)
+            .arriving_at(15.03)
+            .with_min_utility(0.3)
+            .with_iterations(250),
+        JobSpec::new(2, NnModel::AlexNet, BatchClass::Tiny, 1)
+            .arriving_at(24.36)
+            .with_min_utility(0.3)
+            .with_iterations(2400),
+        JobSpec::new(3, NnModel::AlexNet, BatchClass::Small, 2)
+            .arriving_at(25.33)
+            .with_min_utility(0.5)
+            .with_iterations(440),
+        JobSpec::new(4, NnModel::AlexNet, BatchClass::Tiny, 2)
+            .arriving_at(29.33)
+            .with_min_utility(0.5)
+            .with_iterations(1335),
+        JobSpec::new(5, NnModel::CaffeRef, BatchClass::Tiny, 2)
+            .arriving_at(29.89)
+            .with_min_utility(0.5)
+            .with_iterations(1440),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobId;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let jobs = table1();
+        assert_eq!(jobs.len(), 6);
+
+        let models: Vec<char> = jobs.iter().map(|j| j.model.code()).collect();
+        assert_eq!(models, vec!['A', 'G', 'A', 'A', 'A', 'C']);
+
+        let gpus: Vec<u32> = jobs.iter().map(|j| j.n_gpus).collect();
+        assert_eq!(gpus, vec![1, 1, 1, 2, 2, 2]);
+
+        let utils: Vec<f64> = jobs.iter().map(|j| j.min_utility).collect();
+        assert_eq!(utils, vec![0.3, 0.3, 0.3, 0.5, 0.5, 0.5]);
+
+        let arrivals: Vec<f64> = jobs.iter().map(|j| j.arrival_s).collect();
+        assert_eq!(arrivals, vec![0.51, 15.03, 24.36, 25.33, 29.33, 29.89]);
+
+        // Batch 1 → tiny, batch 4 → small.
+        assert_eq!(jobs[0].batch, BatchClass::Tiny);
+        assert_eq!(jobs[1].batch, BatchClass::Small);
+        assert_eq!(jobs[3].batch, BatchClass::Small);
+    }
+
+    #[test]
+    fn table1_jobs_validate_and_are_ordered() {
+        let jobs = table1();
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+            assert!(j.validate().is_ok());
+            assert!(j.constraints.single_node);
+        }
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival_s < w[1].arrival_s);
+        }
+    }
+}

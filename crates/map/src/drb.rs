@@ -1,0 +1,450 @@
+//! Algorithms 2 & 3 — utility-driven Dual Recursive Bi-partitioning.
+//!
+//! `DRB(A, P, C)` recursively splits the physical GPU set `P` (Fiduccia–
+//! Mattheyses over the affinity graph) and the job's task set `A`
+//! (Algorithm 3: each task goes to the sub-partition offering it higher
+//! utility, subject to capacity), bottoming out when a sub-partition holds
+//! one GPU, which is then assigned the task routed there. Asymptotic cost
+//! `Θ(|E_A| · log₂|V_P|)` as in Pellegrini & Roman \[35\].
+//!
+//! The `C` array of Algorithm 2 — "the communication cost of all GPUs, even
+//! the ones not into the sub-partition" — is carried here as a per-task
+//! accumulator of communication costs to tasks already routed to *other*
+//! sub-partitions, so deeper levels still feel the pull of split-off
+//! partners.
+
+use crate::affinity::AffinityGraph;
+use crate::fm::fm_bipartition;
+use crate::utility::UtilityWeights;
+use gts_job::JobGraph;
+use gts_topo::GpuId;
+use std::fmt;
+
+/// Live-cluster queries the mapping needs but cannot own (allocation state,
+/// running-job profiles). Implemented by the scheduler; tests use mocks.
+pub trait PlacementOracle {
+    /// Qualitative distance between two GPUs of the candidate set.
+    fn distance(&self, a: GpuId, b: GpuId) -> f64;
+
+    /// Eq. 4-style predicted interference were the job to occupy `gpus`:
+    /// 1.0 = no interference, smaller is worse (bounded below by ~0.5).
+    fn interference(&self, gpus: &[GpuId]) -> f64;
+
+    /// Eq. 5 system fragmentation after hypothetically allocating `gpus`:
+    /// 0 = fully utilized domains, 1 = everything free/fragmented.
+    fn fragmentation_after(&self, gpus: &[GpuId]) -> f64;
+}
+
+/// Why a mapping attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// More tasks than available GPUs (`t_gpu ≤ p_gpu` violated, §4.3).
+    InsufficientGpus {
+        /// Tasks requested.
+        requested: usize,
+        /// GPUs available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::InsufficientGpus { requested, available } => write!(
+                f,
+                "job requests {requested} GPUs but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// Mean distance between the members of two GPU sets (used to estimate the
+/// cost of an edge that crosses sub-partitions). Falls back to 0 for empty
+/// sets.
+fn mean_cross_distance(oracle: &dyn PlacementOracle, a: &[GpuId], b: &[GpuId]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for &x in a {
+        for &y in b {
+            sum += oracle.distance(x, y);
+        }
+    }
+    sum / (a.len() * b.len()) as f64
+}
+
+/// Mean pairwise distance within one GPU set (0 for sets of size < 2).
+fn mean_internal_distance(oracle: &dyn PlacementOracle, gpus: &[GpuId]) -> f64 {
+    if gpus.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for (i, &x) in gpus.iter().enumerate() {
+        for &y in &gpus[i + 1..] {
+            sum += oracle.distance(x, y);
+            pairs += 1;
+        }
+    }
+    sum / pairs as f64
+}
+
+/// Algorithm 3: split the tasks in `tasks` between sub-partitions `p0` /
+/// `p1`, choosing per task the side with the higher utility, under the
+/// capacity constraint. Returns `(tasks0, tasks1, c0, c1)` where the `c`
+/// vectors carry each task's accumulated external communication cost.
+#[allow(clippy::too_many_arguments)]
+fn job_graph_bipartition(
+    job: &JobGraph,
+    tasks: &[usize],
+    c: &[f64],
+    p0: &[GpuId],
+    p1: &[GpuId],
+    oracle: &dyn PlacementOracle,
+    weights: UtilityWeights,
+) -> (Vec<usize>, Vec<usize>, Vec<f64>, Vec<f64>) {
+    // When the whole task set fits one side but not the other, splitting it
+    // would push job edges across the *current* boundary — the most
+    // expensive cut of the whole recursion — for no capacity reason. Route
+    // it wholesale and let the deeper levels arrange it.
+    if tasks.len() > p0.len() && tasks.len() <= p1.len() {
+        let a1: Vec<usize> = (0..tasks.len()).collect();
+        let costs1: Vec<f64> = a1.iter().map(|&s| c[s]).collect();
+        return (Vec::new(), tasks.to_vec(), Vec::new(), costs1);
+    }
+    if tasks.len() > p1.len() && tasks.len() <= p0.len() {
+        let a0: Vec<usize> = (0..tasks.len()).collect();
+        let costs0: Vec<f64> = a0.iter().map(|&s| c[s]).collect();
+        return (tasks.to_vec(), Vec::new(), costs0, Vec::new());
+    }
+
+    let d_within0 = mean_internal_distance(oracle, p0).max(1.0);
+    let d_within1 = mean_internal_distance(oracle, p1).max(1.0);
+    let d_cross = mean_cross_distance(oracle, p0, p1).max(1.0);
+
+    // Per-side placement factors are evaluated once per call (they do not
+    // depend on the task): Algorithm 3's getInter()/getFragmentation().
+    let i0 = oracle.interference(p0);
+    let i1 = oracle.interference(p1);
+    let w0 = oracle.fragmentation_after(p0);
+    let w1 = oracle.fragmentation_after(p1);
+
+    let mut a0: Vec<usize> = Vec::new();
+    let mut a1: Vec<usize> = Vec::new();
+    let mut c0 = vec![0.0; tasks.len()];
+    let mut c1 = vec![0.0; tasks.len()];
+
+    for (slot, &task) in tasks.iter().enumerate() {
+        // getCommCost(): cost of joining each side given the partners
+        // already routed.
+        let to_a0: f64 = a0.iter().map(|&s| job.weight(task, tasks[s])).sum();
+        let to_a1: f64 = a1.iter().map(|&s| job.weight(task, tasks[s])).sum();
+        let external = c[slot];
+        let tcc0 = to_a0 * d_within0 + to_a1 * d_cross + external;
+        let tcc1 = to_a1 * d_within1 + to_a0 * d_cross + external;
+
+        // Utility of each side (Eq. 2 shape: higher is better; the
+        // communication term is damped to stay comparable with the unit
+        // interference/fragmentation terms).
+        let u0 = weights.cc * (1.0 / (1.0 + tcc0)) + weights.b * i0 + weights.d * (1.0 - w0);
+        let u1 = weights.cc * (1.0 / (1.0 + tcc1)) + weights.b * i1 + weights.d * (1.0 - w1);
+
+        let cap0 = p0.len();
+        let cap1 = p1.len();
+        let prefer0 = u0 >= u1;
+        if (prefer0 && a0.len() < cap0) || a1.len() >= cap1 {
+            a0.push(slot);
+        } else {
+            a1.push(slot);
+        }
+    }
+
+    // Accumulate external costs for the recursion: a task in A0 keeps
+    // feeling its edges to tasks now fixed in A1 at the cross distance.
+    for &s in &a0 {
+        let cross: f64 = a1.iter().map(|&t| job.weight(tasks[s], tasks[t])).sum();
+        c0[s] = c[s] + cross * d_cross;
+    }
+    for &s in &a1 {
+        let cross: f64 = a0.iter().map(|&t| job.weight(tasks[s], tasks[t])).sum();
+        c1[s] = c[s] + cross * d_cross;
+    }
+
+    let tasks0: Vec<usize> = a0.iter().map(|&s| tasks[s]).collect();
+    let tasks1: Vec<usize> = a1.iter().map(|&s| tasks[s]).collect();
+    let costs0: Vec<f64> = a0.iter().map(|&s| c0[s]).collect();
+    let costs1: Vec<f64> = a1.iter().map(|&s| c1[s]).collect();
+    (tasks0, tasks1, costs0, costs1)
+}
+
+/// Algorithm 2: recursive mapping step. `assignment[task] = gpu`.
+fn drb_recurse(
+    job: &JobGraph,
+    tasks: &[usize],
+    c: &[f64],
+    gpus: &[GpuId],
+    oracle: &dyn PlacementOracle,
+    weights: UtilityWeights,
+    assignment: &mut [Option<GpuId>],
+) {
+    if tasks.is_empty() {
+        return; // this partition is not a candidate
+    }
+    if gpus.len() == 1 {
+        debug_assert_eq!(tasks.len(), 1, "capacity was enforced on the way down");
+        assignment[tasks[0]] = Some(gpus[0]);
+        return;
+    }
+    if tasks.len() == gpus.len() && tasks.len() <= 2 {
+        // Both orderings are equivalent for a 2-clique on 2 GPUs; skip the
+        // partitioner for the trivial base case.
+        for (&t, &g) in tasks.iter().zip(gpus.iter()) {
+            assignment[t] = Some(g);
+        }
+        return;
+    }
+
+    // physicalGraphBiPartition(P): FM over the affinity graph. The natural
+    // topology boundary rarely sits exactly at the midpoint (a busy machine
+    // may leave 4 free GPUs next to two idle 4-GPU machines), so several
+    // split ratios are tried and compared by *ratio cut* —
+    // cut / (|left|·|right|) — which is scale-free across imbalances.
+    let n = gpus.len();
+    let affinity = AffinityGraph::from_distances(gpus.to_vec(), |i, j| {
+        oracle.distance(gpus[i], gpus[j])
+    });
+    let mut targets: Vec<usize> = if n <= 32 {
+        (1..n).collect()
+    } else {
+        // A 15-point sweep keeps large (cluster-wide spill) instances
+        // tractable while still straddling machine-sized boundaries.
+        (1..16).map(|k| k * n / 16).collect()
+    };
+    targets.retain(|&t| t >= 1 && t < n);
+    targets.sort_unstable();
+    targets.dedup();
+    let split = targets
+        .into_iter()
+        .map(|t| fm_bipartition(&affinity, t, 3))
+        .min_by(|a, b| {
+            let ra = a.cut / (a.left().len() * a.right().len()) as f64;
+            let rb = b.cut / (b.left().len() * b.right().len()) as f64;
+            ra.partial_cmp(&rb).expect("finite ratio cuts")
+        })
+        .expect("at least one target is valid for n ≥ 2");
+    let p0: Vec<GpuId> = split.left().iter().map(|&i| gpus[i]).collect();
+    let p1: Vec<GpuId> = split.right().iter().map(|&i| gpus[i]).collect();
+
+    let (t0, t1, c0, c1) = job_graph_bipartition(job, tasks, c, &p0, &p1, oracle, weights);
+    drb_recurse(job, &t0, &c0, &p0, oracle, weights, assignment);
+    drb_recurse(job, &t1, &c1, &p1, oracle, weights, assignment);
+}
+
+/// Maps a job's communication graph onto the available GPUs.
+///
+/// Returns `gpus[task]` — one GPU per task, all distinct. Errors when the
+/// capacity constraint `|A| ≤ |P|` does not hold.
+pub fn drb_map(
+    job: &JobGraph,
+    available: &[GpuId],
+    oracle: &dyn PlacementOracle,
+    weights: UtilityWeights,
+) -> Result<Vec<GpuId>, MappingError> {
+    let n = job.n_tasks();
+    if n > available.len() {
+        return Err(MappingError::InsufficientGpus {
+            requested: n,
+            available: available.len(),
+        });
+    }
+    let tasks: Vec<usize> = (0..n).collect();
+    let c = vec![0.0; n];
+    let mut assignment: Vec<Option<GpuId>> = vec![None; n];
+    drb_recurse(job, &tasks, &c, available, oracle, weights, &mut assignment);
+    let out: Vec<GpuId> = assignment
+        .into_iter()
+        .map(|a| a.expect("every task is assigned by the recursion"))
+        .collect();
+    debug_assert!(
+        {
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] != w[1])
+        },
+        "assignments must be distinct"
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_topo::{power8_minsky, MachineTopology};
+
+    /// Oracle over a bare machine: no running jobs, all sockets empty.
+    struct BareMachine<'a> {
+        machine: &'a MachineTopology,
+        /// Sockets already hosting foreign work (for interference tests).
+        busy_sockets: Vec<gts_topo::SocketId>,
+    }
+
+    impl PlacementOracle for BareMachine<'_> {
+        fn distance(&self, a: GpuId, b: GpuId) -> f64 {
+            self.machine.distance(a, b)
+        }
+        fn interference(&self, gpus: &[GpuId]) -> f64 {
+            let touches_busy = gpus.iter().any(|&g| {
+                self.busy_sockets.contains(&self.machine.socket_of(g))
+            });
+            if touches_busy {
+                0.7
+            } else {
+                1.0
+            }
+        }
+        fn fragmentation_after(&self, _gpus: &[GpuId]) -> f64 {
+            0.5
+        }
+    }
+
+    fn bare(machine: &MachineTopology) -> BareMachine<'_> {
+        BareMachine { machine, busy_sockets: vec![] }
+    }
+
+    #[test]
+    fn two_gpu_job_packs_into_one_socket() {
+        let m = power8_minsky();
+        let oracle = bare(&m);
+        let job = JobGraph::uniform(2, 4.0);
+        let all: Vec<GpuId> = m.gpus().collect();
+        let g = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(m.is_packed(&g), "got {g:?}");
+    }
+
+    #[test]
+    fn two_gpu_job_avoids_the_busy_socket() {
+        let m = power8_minsky();
+        let oracle = BareMachine {
+            machine: &m,
+            busy_sockets: vec![gts_topo::SocketId(0)],
+        };
+        let job = JobGraph::uniform(2, 4.0);
+        let all: Vec<GpuId> = m.gpus().collect();
+        let g = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+        // Socket 1's GPUs are 2 and 3.
+        let mut got = g.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![GpuId(2), GpuId(3)], "should pick the idle socket");
+    }
+
+    #[test]
+    fn four_gpu_job_takes_the_whole_machine() {
+        let m = power8_minsky();
+        let oracle = bare(&m);
+        let job = JobGraph::uniform(4, 3.0);
+        let all: Vec<GpuId> = m.gpus().collect();
+        let g = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+        let mut got = g.clone();
+        got.sort_unstable();
+        assert_eq!(got, all);
+    }
+
+    #[test]
+    fn single_task_job_maps_to_one_gpu() {
+        let m = power8_minsky();
+        let oracle = bare(&m);
+        let job = JobGraph::uniform(1, 0.0);
+        let all: Vec<GpuId> = m.gpus().collect();
+        let g = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+        assert_eq!(g.len(), 1);
+        assert!(all.contains(&g[0]));
+    }
+
+    #[test]
+    fn fragmented_availability_still_maps() {
+        let m = power8_minsky();
+        let oracle = bare(&m);
+        let job = JobGraph::uniform(2, 4.0);
+        // Only one GPU per socket available: the dreaded Fig. 8 situation.
+        let avail = [GpuId(1), GpuId(2)];
+        let g = drb_map(&job, &avail, &oracle, UtilityWeights::default()).unwrap();
+        let mut got = g.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![GpuId(1), GpuId(2)]);
+        assert!(!m.is_packed(&got), "placement is necessarily spread");
+    }
+
+    #[test]
+    fn insufficient_capacity_is_an_error() {
+        let m = power8_minsky();
+        let oracle = bare(&m);
+        let job = JobGraph::uniform(3, 4.0);
+        let avail = [GpuId(0), GpuId(1)];
+        let err = drb_map(&job, &avail, &oracle, UtilityWeights::default()).unwrap_err();
+        assert_eq!(
+            err,
+            MappingError::InsufficientGpus { requested: 3, available: 2 }
+        );
+    }
+
+    #[test]
+    fn assignments_are_distinct_gpus() {
+        let m = gts_topo::symmetric_machine("m", 2, 4, gts_topo::LinkProfile::nvlink_dual());
+        let oracle = bare(&m);
+        for n in 1..=8usize {
+            let job = JobGraph::uniform(n, 2.0);
+            let all: Vec<GpuId> = m.gpus().collect();
+            let g = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+            let mut sorted = g.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), n, "duplicate GPUs for n={n}: {g:?}");
+        }
+    }
+
+    #[test]
+    fn pipeline_job_splits_at_a_chain_boundary() {
+        // A 4-stage pipeline on a 4-GPU Minsky must cut exactly one chain
+        // edge at the socket boundary: consecutive stages stay together.
+        let m = power8_minsky();
+        let oracle = bare(&m);
+        let job = JobGraph::pipeline(4, 4.0);
+        let all: Vec<GpuId> = m.gpus().collect();
+        let g = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+        let mut cross_edges = 0;
+        for (i, j, _) in job.edges() {
+            if m.socket_of(g[i]) != m.socket_of(g[j]) {
+                cross_edges += 1;
+            }
+        }
+        assert_eq!(cross_edges, 1, "mapping {g:?} cuts {cross_edges} chain edges");
+    }
+
+    #[test]
+    fn ring_job_cuts_at_most_two_edges() {
+        let m = power8_minsky();
+        let oracle = bare(&m);
+        let job = JobGraph::ring(4, 4.0);
+        let all: Vec<GpuId> = m.gpus().collect();
+        let g = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+        let cross = job
+            .edges()
+            .filter(|&(i, j, _)| m.socket_of(g[i]) != m.socket_of(g[j]))
+            .count();
+        assert!(cross <= 2, "a 4-ring over 2 sockets needs at most 2 cuts, got {cross}");
+    }
+
+    #[test]
+    fn three_tasks_on_eight_gpus_stay_on_one_socket() {
+        let m = gts_topo::symmetric_machine("m", 2, 4, gts_topo::LinkProfile::nvlink_dual());
+        let oracle = bare(&m);
+        let job = JobGraph::uniform(3, 4.0);
+        let all: Vec<GpuId> = m.gpus().collect();
+        let g = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+        assert!(m.is_packed(&g), "3 tasks fit a 4-GPU socket: {g:?}");
+    }
+}

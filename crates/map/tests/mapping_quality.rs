@@ -1,0 +1,227 @@
+//! Quality guarantees for the mapping engine, checked against brute force.
+#![allow(clippy::needless_range_loop)] // symmetric matrix fills read clearer indexed
+
+use gts_map::{drb_map, fm_bipartition, AffinityGraph, PlacementOracle, UtilityWeights};
+use gts_job::JobGraph;
+use gts_topo::{power8_minsky, symmetric_machine, GpuId, LinkProfile, MachineTopology};
+use proptest::prelude::*;
+
+/// Exhaustive minimum cut over all left-parts of exactly `target` vertices.
+fn exhaustive_min_cut(g: &AffinityGraph, target: usize) -> f64 {
+    let n = g.len();
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != target {
+            continue;
+        }
+        let side: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        best = best.min(g.cut(&side));
+    }
+    best
+}
+
+struct IdleOracle<'a> {
+    machine: &'a MachineTopology,
+}
+
+impl PlacementOracle for IdleOracle<'_> {
+    fn distance(&self, a: GpuId, b: GpuId) -> f64 {
+        self.machine.distance(a, b)
+    }
+    fn interference(&self, _: &[GpuId]) -> f64 {
+        1.0
+    }
+    fn fragmentation_after(&self, _: &[GpuId]) -> f64 {
+        0.5
+    }
+}
+
+/// Exhaustive minimum Eq. 3 cost of any `k`-subset of the machine's GPUs.
+fn exhaustive_min_eq3(machine: &MachineTopology, k: usize) -> f64 {
+    let gpus: Vec<GpuId> = machine.gpus().collect();
+    let n = gpus.len();
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != k {
+            continue;
+        }
+        let subset: Vec<GpuId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| gpus[i])
+            .collect();
+        best = best.min(machine.pairwise_cost(&subset));
+    }
+    best
+}
+
+#[test]
+fn fm_is_optimal_on_machine_affinity_graphs() {
+    // Structured topology graphs: FM must find the exact balanced min cut.
+    for machine in [
+        power8_minsky(),
+        symmetric_machine("s23", 2, 3, LinkProfile::nvlink_dual()),
+        symmetric_machine("s32", 3, 2, LinkProfile::nvlink_dual()),
+        symmetric_machine("p22", 2, 2, LinkProfile::pcie_gen3()),
+    ] {
+        let gpus: Vec<GpuId> = machine.gpus().collect();
+        let g = AffinityGraph::from_machine(&machine, &gpus);
+        for target in 1..gpus.len() {
+            let fm = fm_bipartition(&g, target, 4);
+            let opt = exhaustive_min_cut(&g, target);
+            assert!(
+                fm.cut <= opt + 1e-9,
+                "{}: target {target}: FM {} vs optimal {opt}",
+                machine.name(),
+                fm.cut
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn fm_is_near_optimal_on_random_graphs(seed in 0u64..10_000, n in 4usize..9) {
+        // Random affinity graphs: FM is a heuristic, so allow slack — but it
+        // must stay within 2× of the exhaustive optimum and produce exactly
+        // balanced sides.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let gpus: Vec<GpuId> = (0..n as u32).map(GpuId).collect();
+        let mut dist = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = rng.gen_range(1.0f64..50.0);
+                dist[i][j] = d;
+                dist[j][i] = d;
+            }
+        }
+
+        let g = AffinityGraph::from_distances(gpus, |i, j| dist[i][j]);
+        let target = n / 2;
+        let fm = fm_bipartition(&g, target, 4);
+        prop_assert_eq!(fm.left().len(), target);
+        let opt = exhaustive_min_cut(&g, target);
+        prop_assert!(
+            fm.cut <= 2.0 * opt + 1e-9,
+            "FM {} vs optimal {} (seed {})", fm.cut, opt, seed
+        );
+        // And the reported cut is the real cut of the reported partition.
+        prop_assert!((fm.cut - g.cut(&fm.side)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drb_matches_the_exhaustive_eq3_optimum_on_idle_machines(
+        sockets in 2usize..4, per_socket in 1usize..4, k in 1usize..7
+    ) {
+        let machine = symmetric_machine("q", sockets, per_socket, LinkProfile::nvlink_dual());
+        let n = machine.n_gpus();
+        prop_assume!(k <= n);
+        let oracle = IdleOracle { machine: &machine };
+        let job = JobGraph::uniform(k, 4.0);
+        let all: Vec<GpuId> = machine.gpus().collect();
+        let mapping = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+        let cost = machine.pairwise_cost(&mapping);
+        let opt = exhaustive_min_eq3(&machine, k);
+        // On an idle symmetric machine with a uniform job, the DRB greedy
+        // recursion should land on (or extremely near) the best subset.
+        prop_assert!(
+            cost <= opt * 1.05 + 1e-9,
+            "DRB cost {cost} vs optimal {opt} for k={k} on {sockets}x{per_socket}"
+        );
+    }
+}
+
+#[test]
+fn drb_is_optimal_for_every_job_size_on_minsky() {
+    let machine = power8_minsky();
+    let oracle = IdleOracle { machine: &machine };
+    let all: Vec<GpuId> = machine.gpus().collect();
+    for k in 1..=4usize {
+        let job = JobGraph::uniform(k, 4.0);
+        let mapping = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+        let cost = machine.pairwise_cost(&mapping);
+        let opt = exhaustive_min_eq3(&machine, k);
+        assert!((cost - opt).abs() < 1e-9, "k={k}: {cost} vs {opt}");
+    }
+}
+
+#[test]
+fn drb_is_optimal_for_pipelines_on_minsky() {
+    // Exhaustive over all 4! assignments of a 4-stage pipeline to the
+    // 4 GPUs: DRB must match the minimum weighted Eq. 3 cost
+    // (Σ w_ij · d(gpu_i, gpu_j)).
+    let machine = power8_minsky();
+    let oracle = IdleOracle { machine: &machine };
+    let job = JobGraph::pipeline(4, 4.0);
+    let all: Vec<GpuId> = machine.gpus().collect();
+    let mapping = drb_map(&job, &all, &oracle, UtilityWeights::default()).unwrap();
+
+    let weighted_cost = |m: &[GpuId]| -> f64 {
+        job.edges()
+            .map(|(i, j, w)| w * machine.distance(m[i], m[j]))
+            .sum()
+    };
+    let got = weighted_cost(&mapping);
+
+    // All permutations of 4 GPUs.
+    let mut best = f64::INFINITY;
+    let idx = [0u32, 1, 2, 3];
+    for a in 0..4 {
+        for b in 0..4 {
+            for c in 0..4 {
+                for d in 0..4 {
+                    let perm = [idx[a], idx[b], idx[c], idx[d]];
+                    let mut sorted = perm;
+                    sorted.sort_unstable();
+                    if sorted != [0, 1, 2, 3] {
+                        continue;
+                    }
+                    let m: Vec<GpuId> = perm.iter().map(|&g| GpuId(g)).collect();
+                    best = best.min(weighted_cost(&m));
+                }
+            }
+        }
+    }
+    assert!((got - best).abs() < 1e-9, "DRB {got} vs optimal {best}");
+}
+
+#[test]
+fn extra_fm_passes_never_worsen_the_cut() {
+    for machine in [
+        power8_minsky(),
+        symmetric_machine("s44", 4, 4, LinkProfile::nvlink_dual()),
+    ] {
+        let gpus: Vec<GpuId> = machine.gpus().collect();
+        let g = AffinityGraph::from_machine(&machine, &gpus);
+        let mut prev = f64::INFINITY;
+        for passes in [1usize, 2, 4, 8] {
+            let cut = fm_bipartition(&g, gpus.len() / 2, passes).cut;
+            assert!(cut <= prev + 1e-12, "{}: {passes} passes worsened the cut", machine.name());
+            prev = cut;
+        }
+    }
+}
+
+#[test]
+fn fm_regression_seed_1865() {
+    // Found by proptest: single-start FM landed 2.17× off the optimum on
+    // this graph; multi-start must stay within tolerance.
+    use rand::{Rng, SeedableRng};
+    let n = 6;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1865);
+    let gpus: Vec<GpuId> = (0..n as u32).map(GpuId).collect();
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = rng.gen_range(1.0f64..50.0);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    let g = AffinityGraph::from_distances(gpus, |i, j| dist[i][j]);
+    let fm = fm_bipartition(&g, n / 2, 4);
+    let opt = exhaustive_min_cut(&g, n / 2);
+    assert!(fm.cut <= 2.0 * opt + 1e-9, "FM {} vs optimal {opt}", fm.cut);
+}

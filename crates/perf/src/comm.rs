@@ -1,0 +1,88 @@
+//! Per-iteration gradient-exchange time.
+//!
+//! Data-parallel training allreduces the full gradient every iteration.
+//! NCCL-style ring allreduce moves `2·(g−1)/g` times the gradient size
+//! through each GPU per iteration, independent of batch size — which is why
+//! the paper observes "the communication time instead remains ≈2 s for all
+//! batch sizes" (§3.2): bigger batches change how *often* you communicate
+//! relative to compute, not how *much*.
+
+use crate::calibration::{EFF_HOST, EFF_P2P};
+use crate::placement::RouteClass;
+use gts_job::NnModel;
+
+/// Gradient bytes each GPU sends per iteration in a `g`-GPU ring allreduce,
+/// in GB (decimal). Zero for single-GPU jobs.
+pub fn ring_volume_gb(model: NnModel, g: u32) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    let grad_gb = model.gradient_bytes() as f64 / 1e9;
+    2.0 * f64::from(g - 1) / f64::from(g) * grad_gb
+}
+
+/// Effective achieved bandwidth over a route in GB/s: the bottleneck link's
+/// peak derated by the route-class efficiency.
+pub fn effective_bandwidth_gbs(route: RouteClass, bottleneck_gbs: f64) -> f64 {
+    let kappa = match route {
+        RouteClass::P2p => EFF_P2P,
+        RouteClass::HostRouted => EFF_HOST,
+    };
+    kappa * bottleneck_gbs
+}
+
+/// Communication time of one iteration in seconds for a `g`-GPU job whose
+/// worst route achieves `effective_gbs`.
+pub fn comm_time_s(model: NnModel, g: u32, route: RouteClass, bottleneck_gbs: f64) -> f64 {
+    let volume = ring_volume_gb(model, g);
+    if volume == 0.0 {
+        return 0.0;
+    }
+    volume / effective_bandwidth_gbs(route, bottleneck_gbs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_gpu_does_not_communicate() {
+        assert_eq!(ring_volume_gb(NnModel::AlexNet, 1), 0.0);
+        assert_eq!(comm_time_s(NnModel::AlexNet, 1, RouteClass::P2p, 40.0), 0.0);
+    }
+
+    #[test]
+    fn two_gpu_ring_moves_one_gradient() {
+        let v = ring_volume_gb(NnModel::AlexNet, 2);
+        assert!((v - 0.244).abs() < 0.01, "got {v} GB");
+    }
+
+    #[test]
+    fn ring_volume_approaches_two_gradients() {
+        let v2 = ring_volume_gb(NnModel::AlexNet, 2);
+        let v4 = ring_volume_gb(NnModel::AlexNet, 4);
+        let v8 = ring_volume_gb(NnModel::AlexNet, 8);
+        assert!(v2 < v4 && v4 < v8);
+        assert!(v8 < 2.0 * 0.244);
+    }
+
+    #[test]
+    fn packed_alexnet_comm_is_about_50ms() {
+        let t = comm_time_s(NnModel::AlexNet, 2, RouteClass::P2p, 40.0);
+        assert!((0.045..0.055).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn host_routed_is_slower_than_p2p_at_equal_bottleneck() {
+        let p2p = comm_time_s(NnModel::AlexNet, 2, RouteClass::P2p, 32.0);
+        let host = comm_time_s(NnModel::AlexNet, 2, RouteClass::HostRouted, 32.0);
+        assert!(host > p2p);
+    }
+
+    #[test]
+    fn googlenet_comm_is_small() {
+        let g = comm_time_s(NnModel::GoogLeNet, 2, RouteClass::P2p, 40.0);
+        let a = comm_time_s(NnModel::AlexNet, 2, RouteClass::P2p, 40.0);
+        assert!(g < a / 5.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Per-iteration GPU compute time.
+//!
+//! §3.2: "larger batch sizes significantly increase computation time" —
+//! forward/backward cost is linear in the number of samples processed per
+//! step, plus a batch-independent floor (kernel launch, weight update).
+//! Data parallelism keeps the *per-GPU* batch fixed, so the per-iteration
+//! compute time does not depend on the GPU count.
+
+use crate::calibration::{COMPUTE_BASE_S, COMPUTE_PER_SAMPLE_S};
+use gts_job::NnModel;
+
+/// Compute time of one training iteration in seconds for `model` with a
+/// per-GPU batch of `batch` samples.
+pub fn compute_time_s(model: NnModel, batch: u32) -> f64 {
+    model.compute_scale() * (COMPUTE_BASE_S + COMPUTE_PER_SAMPLE_S * f64::from(batch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_endpoints_match_paper() {
+        // ≈1 s over 40 iterations at batch 1 (§3.2).
+        let b1_40 = 40.0 * compute_time_s(NnModel::AlexNet, 1);
+        assert!((0.9..1.1).contains(&b1_40), "got {b1_40}");
+        // ≈66 s over 40 iterations at batch 128.
+        let b128_40 = 40.0 * compute_time_s(NnModel::AlexNet, 128);
+        assert!((63.0..68.0).contains(&b128_40), "got {b128_40}");
+    }
+
+    #[test]
+    fn compute_is_strictly_increasing_in_batch() {
+        for model in NnModel::ALL {
+            let mut prev = 0.0;
+            for b in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+                let t = compute_time_s(model, b);
+                assert!(t > prev, "{model} batch {b}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn googlenet_is_compute_heavier_per_sample() {
+        assert!(compute_time_s(NnModel::GoogLeNet, 8) > 2.0 * compute_time_s(NnModel::AlexNet, 8));
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-machine link-traffic counters — the `nvidia-smi nvlink` stand-in.
+//!
+//! Workers add the bytes they "transfer" each chunk; the monitor thread
+//! reads cumulative totals once per scaled second and differentiates to
+//! GB/s, exactly how the paper computes NVLink bandwidth from transmit
+//! counters (§5.1). Two channels per machine: P2P traffic (direct NVLink /
+//! switch routes) and host-routed traffic (GPU–CPU–GPU).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative transferred bytes per machine, split by route class, plus a
+/// DRAM channel — the Perfmon2/PMU stand-in (§5.1 computes DRAM bandwidth
+/// "using the Power8 performance counters"). Workers feed the DRAM channel
+/// with their declared input-pipeline demand.
+#[derive(Debug)]
+pub struct LinkCounters {
+    p2p: Vec<AtomicU64>,
+    host: Vec<AtomicU64>,
+    dram: Vec<AtomicU64>,
+}
+
+impl LinkCounters {
+    /// Counters for `n_machines` machines, all zero.
+    pub fn new(n_machines: usize) -> Self {
+        Self {
+            p2p: (0..n_machines).map(|_| AtomicU64::new(0)).collect(),
+            host: (0..n_machines).map(|_| AtomicU64::new(0)).collect(),
+            dram: (0..n_machines).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of machines covered.
+    pub fn n_machines(&self) -> usize {
+        self.p2p.len()
+    }
+
+    /// Adds P2P bytes on one machine.
+    pub fn add_p2p(&self, machine: usize, bytes: u64) {
+        self.p2p[machine].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds host-routed bytes on one machine.
+    pub fn add_host(&self, machine: usize, bytes: u64) {
+        self.host[machine].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds DRAM traffic (input pipeline / staging) on one machine.
+    pub fn add_dram(&self, machine: usize, bytes: u64) {
+        self.dram[machine].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Cumulative `(p2p, host)` bytes on one machine.
+    pub fn totals(&self, machine: usize) -> (u64, u64) {
+        (
+            self.p2p[machine].load(Ordering::Relaxed),
+            self.host[machine].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Cumulative DRAM bytes on one machine.
+    pub fn dram_total(&self, machine: usize) -> u64 {
+        self.dram[machine].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = LinkCounters::new(2);
+        c.add_p2p(0, 100);
+        c.add_p2p(0, 50);
+        c.add_host(1, 7);
+        assert_eq!(c.totals(0), (150, 0));
+        assert_eq!(c.totals(1), (0, 7));
+        assert_eq!(c.n_machines(), 2);
+        c.add_dram(1, 99);
+        assert_eq!(c.dram_total(1), 99);
+        assert_eq!(c.dram_total(0), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let c = Arc::new(LinkCounters::new(1));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_p2p(0, 1);
+                        c.add_host(0, 2);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.totals(0), (8000, 16000));
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 9 — validating the simulator against the prototype.
+//!
+//! "The algorithms behave very similarly in both prototype and the
+//! simulation, despite some expected small differences, which are
+//! acceptable when considering the standard deviations." We run the
+//! Table 1 scenario through both and require per-job completion times to
+//! agree within a tolerance that covers thread-scheduling jitter at the
+//! compressed time scale.
+
+use gts_job::scenario::table1;
+use gts_perf::ProfileLibrary;
+use gts_proto::{ProtoConfig, Prototype, TimeScale};
+use gts_sched::{Policy, PolicyKind};
+use gts_sim::engine::simulate;
+use gts_topo::{power8_minsky, ClusterTopology};
+use std::sync::Arc;
+
+fn setup() -> (Arc<ClusterTopology>, Arc<ProfileLibrary>) {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, 1));
+    (cluster, profiles)
+}
+
+#[test]
+fn prototype_and_simulation_agree_on_the_fig8_scenario() {
+    let (cluster, profiles) = setup();
+    for kind in [PolicyKind::TopoAwareP, PolicyKind::Fcfs] {
+        let sim = simulate(
+            Arc::clone(&cluster),
+            Arc::clone(&profiles),
+            Policy::new(kind),
+            table1(),
+        );
+        let proto = Prototype::new(
+            Arc::clone(&cluster),
+            Arc::clone(&profiles),
+            ProtoConfig::with_scale(Policy::new(kind), TimeScale::new(0.002)),
+        )
+        .run(table1());
+
+        assert_eq!(proto.records.len(), sim.records.len(), "{kind}");
+        for sr in &sim.records {
+            let pr = proto.record(sr.spec.id).expect("job ran in the prototype");
+            let rel = (pr.finished_at_s - sr.finished_at_s).abs() / sr.finished_at_s.max(1.0);
+            assert!(
+                rel < 0.15,
+                "{kind} {}: prototype finished at {:.1}s, simulation at {:.1}s (rel {:.2})",
+                sr.spec.id,
+                pr.finished_at_s,
+                sr.finished_at_s,
+                rel
+            );
+        }
+        // Makespans track each other.
+        let rel = (proto.makespan_s - sim.makespan_s).abs() / sim.makespan_s;
+        assert!(rel < 0.15, "{kind} makespan rel error {rel:.3}");
+        // SLO accounting matches.
+        assert_eq!(proto.slo_violations, sim.slo_violations, "{kind}");
+    }
+}
+
+#[test]
+fn prototype_reproduces_the_policy_ordering() {
+    let (cluster, profiles) = setup();
+    let run = |kind: PolicyKind| {
+        Prototype::new(
+            Arc::clone(&cluster),
+            Arc::clone(&profiles),
+            ProtoConfig::with_scale(Policy::new(kind), TimeScale::new(0.002)),
+        )
+        .run(table1())
+        .makespan_s
+    };
+    let tap = run(PolicyKind::TopoAwareP);
+    let bf = run(PolicyKind::BestFit);
+    assert!(
+        bf / tap > 1.1,
+        "TOPO-AWARE-P should beat BF by ≈1.3× in the prototype too: {bf:.1} vs {tap:.1}"
+    );
+}

@@ -1,0 +1,61 @@
+//! Fig. 9 extended: prototype-vs-simulator agreement on *generated*
+//! workloads, not just the hand-built Table 1 scenario.
+
+use gts_job::WorkloadGenerator;
+use gts_perf::ProfileLibrary;
+use gts_proto::{ProtoConfig, Prototype, TimeScale};
+use gts_sched::{Policy, PolicyKind};
+use gts_sim::engine::simulate;
+use gts_topo::{power8_minsky, ClusterTopology};
+use std::sync::Arc;
+
+#[test]
+fn simulator_tracks_prototype_on_generated_workloads() {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, 2));
+
+    let mut gen = WorkloadGenerator::with_defaults(2024);
+    let trace: Vec<_> = gen
+        .generate(14)
+        .into_iter()
+        .map(|mut j| {
+            // Keep the run short enough for a compressed-time prototype.
+            j.iterations = 120;
+            j
+        })
+        .collect();
+
+    for kind in [PolicyKind::TopoAwareP, PolicyKind::BestFit] {
+        let sim = simulate(
+            Arc::clone(&cluster),
+            Arc::clone(&profiles),
+            Policy::new(kind),
+            trace.clone(),
+        );
+        let proto = Prototype::new(
+            Arc::clone(&cluster),
+            Arc::clone(&profiles),
+            ProtoConfig::with_scale(Policy::new(kind), TimeScale::new(0.002)),
+        )
+        .run(trace.clone());
+
+        assert_eq!(proto.records.len(), sim.records.len(), "{kind}");
+        let mut total_rel = 0.0;
+        for sr in &sim.records {
+            let pr = proto.record(sr.spec.id).expect("job ran in prototype");
+            let rel = (pr.finished_at_s - sr.finished_at_s).abs() / sr.finished_at_s.max(1.0);
+            total_rel += rel;
+            assert!(
+                rel < 0.25,
+                "{kind} {}: proto {:.1}s vs sim {:.1}s",
+                sr.spec.id,
+                pr.finished_at_s,
+                sr.finished_at_s
+            );
+        }
+        let mean_rel = total_rel / sim.records.len() as f64;
+        assert!(mean_rel < 0.10, "{kind}: mean rel error {mean_rel:.3}");
+        assert_eq!(proto.slo_violations, sim.slo_violations, "{kind}");
+    }
+}

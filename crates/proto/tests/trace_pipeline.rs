@@ -1,0 +1,48 @@
+//! §5.3's exact workflow: run the prototype, export its log as a trace
+//! file, parse it back and feed the trace-driven simulator.
+
+use gts_job::{scenario::table1, Trace};
+use gts_perf::ProfileLibrary;
+use gts_proto::{ProtoConfig, Prototype, TimeScale};
+use gts_sched::{Policy, PolicyKind};
+use gts_sim::engine::simulate;
+use gts_topo::{power8_minsky, ClusterTopology};
+use std::sync::Arc;
+
+#[test]
+fn prototype_logs_replay_through_the_simulator() {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, 1));
+
+    // 1. Prototype experiment.
+    let proto = Prototype::new(
+        Arc::clone(&cluster),
+        Arc::clone(&profiles),
+        ProtoConfig::with_scale(Policy::new(PolicyKind::TopoAwareP), TimeScale::new(0.002)),
+    )
+    .run(table1());
+
+    // 2. Export → file → parse (the trace-file round trip).
+    let trace = proto.to_trace("prototype run, TOPO-AWARE-P");
+    assert_eq!(trace.len(), 6);
+    let dir = std::env::temp_dir().join("gts-proto-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prototype.json");
+    trace.save(&path).unwrap();
+    let parsed = Trace::load(&path).unwrap();
+    assert_eq!(parsed, trace);
+    std::fs::remove_file(&path).ok();
+
+    // 3. Trace-driven simulation reproduces the prototype's behaviour.
+    let sim = simulate(
+        cluster,
+        profiles,
+        Policy::new(PolicyKind::TopoAwareP),
+        parsed.jobs,
+    );
+    assert_eq!(sim.records.len(), proto.records.len());
+    let rel = (sim.makespan_s - proto.makespan_s).abs() / proto.makespan_s;
+    assert!(rel < 0.15, "makespan rel error {rel:.3}");
+    assert_eq!(sim.slo_violations, proto.slo_violations);
+}

@@ -1,0 +1,31 @@
+//! # gts-sched — the topology-aware scheduler (§4.4, §5.2)
+//!
+//! Implements Algorithm 1 around the `gts-map` mapping engine:
+//!
+//! * [`state`] — live cluster allocation state (free GPUs per machine,
+//!   running jobs and their §4.2 profiles);
+//! * [`oracle`] — the [`gts_map::PlacementOracle`] backed by that state:
+//!   Eq. 4 interference prediction and Eq. 5 fragmentation;
+//! * [`policy`] — the four evaluated policies: `TOPO-AWARE`,
+//!   `TOPO-AWARE-P` (postponing), `FCFS` and Best-Fit (`BF`);
+//! * [`scheduler`] — the Algorithm 1 loop: arrival-ordered queue, host
+//!   filtering, placement or postponement, SLO accounting;
+//! * [`overhead`] — decision-latency metering for the §5.5.3 analysis.
+
+#![warn(missing_docs)]
+
+pub mod enforcement;
+pub mod oracle;
+pub mod overhead;
+pub mod policy;
+pub mod scheduler;
+pub mod spill;
+pub mod state;
+
+pub use enforcement::{launch_plan, LaunchPlan};
+pub use oracle::StateOracle;
+pub use overhead::DecisionStats;
+pub use policy::{Policy, PolicyKind};
+pub use scheduler::{CancelOutcome, PlacementOutcome, Scheduler, SchedulerConfig};
+pub use spill::{decide_spill, ClusterOracle};
+pub use state::{Allocation, ClusterState};

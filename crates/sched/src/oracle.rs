@@ -1,0 +1,270 @@
+//! The live-state [`PlacementOracle`] and the final placement utility.
+//!
+//! Bridges the pure mapping engine to the cluster: distances come from the
+//! machine topology, interference predictions from the §4.2 profiles of the
+//! jobs currently running on the candidate machine (Eq. 4), and
+//! fragmentation from socket occupancy (Eq. 5).
+
+use crate::state::ClusterState;
+use gts_job::{JobProfile, JobSpec};
+use gts_map::{PlacementOracle, UtilityComponents, UtilityWeights};
+use gts_perf::domain_factor;
+use gts_topo::{GpuId, MachineId, MachineTopology};
+
+/// Oracle for one candidate machine, carrying the job being placed.
+pub struct StateOracle<'a> {
+    state: &'a ClusterState,
+    machine: MachineId,
+    topo: &'a MachineTopology,
+    candidate: &'a JobProfile,
+}
+
+impl<'a> StateOracle<'a> {
+    /// Builds the oracle for placing `job` on `machine`.
+    pub fn new(state: &'a ClusterState, machine: MachineId, job: &JobSpec) -> Self {
+        let topo = state.cluster().machine(machine);
+        let candidate = state.profiles().get(job.model, job.batch);
+        Self { state, machine, topo, candidate }
+    }
+
+    /// Eq. 4 over the candidate placement: mean of `solo/collocated` ratios
+    /// of this job and every running job on the machine, with domain
+    /// factors derived from actual GPU sets.
+    fn eq4(&self, gpus: &[GpuId]) -> f64 {
+        let running = self.state.running_on(self.machine);
+        let corunners: Vec<(JobProfile, f64)> = running
+            .iter()
+            .map(|alloc| {
+                let factor = domain_factor(self.topo, gpus, &alloc.gpus_on(self.machine));
+                (*alloc.profile(self.state.profiles()), factor)
+            })
+            .collect();
+        self.candidate.eq4_interference(&corunners)
+    }
+}
+
+impl PlacementOracle for StateOracle<'_> {
+    fn distance(&self, a: GpuId, b: GpuId) -> f64 {
+        self.topo.distance(a, b)
+    }
+
+    fn interference(&self, gpus: &[GpuId]) -> f64 {
+        if gpus.is_empty() {
+            return 1.0;
+        }
+        self.eq4(gpus)
+    }
+
+    fn fragmentation_after(&self, gpus: &[GpuId]) -> f64 {
+        let mut occupancy = self.state.socket_occupancy(self.machine);
+        for &g in gpus {
+            let socket = self.topo.socket_of(g).index();
+            let (free, _) = &mut occupancy[socket];
+            if *free > 0 {
+                *free -= 1;
+            }
+        }
+        gts_map::eq5_fragmentation(&occupancy)
+    }
+}
+
+/// The minimal Eq. 3 cost achievable for `n` GPUs on an *empty* machine of
+/// this type — the normalization numerator of `u_cc`. Brute-forces the best
+/// subset (machines have ≤ a dozen GPUs, and results are tiny to compute).
+pub fn best_possible_cost(topo: &MachineTopology, n: usize) -> f64 {
+    let gpus: Vec<GpuId> = topo.gpus().collect();
+    assert!(n <= gpus.len(), "machine cannot host {n} GPUs");
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut best = f64::INFINITY;
+    // Enumerate n-subsets with a simple index-combination walk.
+    let mut idx: Vec<usize> = (0..n).collect();
+    loop {
+        let subset: Vec<GpuId> = idx.iter().map(|&i| gpus[i]).collect();
+        best = best.min(topo.pairwise_cost(&subset));
+        // Next combination.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return best;
+            }
+            i -= 1;
+            if idx[i] != i + gpus.len() - n {
+                idx[i] += 1;
+                for j in (i + 1)..n {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Final normalized utility of a concrete placement (DESIGN.md §2),
+/// compared by `TOPO-AWARE-P` against the job's `min_utility`.
+pub fn placement_utility(
+    state: &ClusterState,
+    machine: MachineId,
+    job: &JobSpec,
+    gpus: &[GpuId],
+    weights: UtilityWeights,
+) -> f64 {
+    let topo = state.cluster().machine(machine);
+    let oracle = StateOracle::new(state, machine, job);
+
+    let u_cc = if job.communicates() {
+        let actual = topo.pairwise_cost(gpus);
+        let best = best_possible_cost(topo, gpus.len());
+        UtilityComponents::u_cc_from_costs(best, actual)
+    } else {
+        1.0
+    };
+    let u_interference = oracle.interference(gpus);
+    let u_domains =
+        UtilityComponents::u_domains_from_span(topo.sockets_spanned(gpus), topo.n_sockets());
+
+    gts_map::utility(
+        UtilityComponents { u_cc, u_interference, u_domains },
+        weights,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_job::{BatchClass, NnModel};
+    use crate::state::on_machine;
+    use gts_perf::ProfileLibrary;
+    use gts_topo::{power8_minsky, ClusterTopology};
+    use std::sync::Arc;
+
+    fn state() -> ClusterState {
+        let machine = power8_minsky();
+        let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+        let cluster = Arc::new(ClusterTopology::homogeneous(machine, 1));
+        ClusterState::new(cluster, profiles)
+    }
+
+    fn tiny_2gpu(id: u64) -> JobSpec {
+        JobSpec::new(id, NnModel::AlexNet, BatchClass::Tiny, 2).with_min_utility(0.5)
+    }
+
+    #[test]
+    fn best_possible_cost_on_minsky() {
+        let m = power8_minsky();
+        assert_eq!(best_possible_cost(&m, 1), 0.0);
+        assert_eq!(best_possible_cost(&m, 2), 1.0); // NVLink pair
+        // 3 GPUs: best is a pair plus a cross-socket GPU: 1 + 22 + 22.
+        assert_eq!(best_possible_cost(&m, 3), 45.0);
+        // All 4: 2 pairs + 4 cross pairs.
+        assert_eq!(best_possible_cost(&m, 4), 2.0 + 4.0 * 22.0);
+    }
+
+    #[test]
+    fn packed_placement_on_idle_machine_scores_one() {
+        let s = state();
+        let job = tiny_2gpu(0);
+        let u = placement_utility(
+            &s,
+            MachineId(0),
+            &job,
+            &[GpuId(0), GpuId(1)],
+            UtilityWeights::default(),
+        );
+        assert!((u - 1.0).abs() < 1e-9, "got {u}");
+    }
+
+    #[test]
+    fn fig8_cross_socket_placement_falls_below_threshold() {
+        let mut s = state();
+        // Two single-GPU tiny jobs already running, one per socket — the
+        // Fig. 8 moment when Job 3 faces one free GPU per socket.
+        s.place(
+            JobSpec::new(10, NnModel::AlexNet, BatchClass::Tiny, 1),
+            on_machine(MachineId(0), &[GpuId(0)]),
+            1.0,
+        );
+        s.place(
+            JobSpec::new(11, NnModel::AlexNet, BatchClass::Tiny, 1),
+            on_machine(MachineId(0), &[GpuId(2)]),
+            1.0,
+        );
+        let job = tiny_2gpu(3);
+        let u = placement_utility(
+            &s,
+            MachineId(0),
+            &job,
+            &[GpuId(1), GpuId(3)],
+            UtilityWeights::default(),
+        );
+        assert!(u < 0.5, "cross-socket placement must violate 0.5, got {u}");
+    }
+
+    #[test]
+    fn single_gpu_jobs_always_have_perfect_comm_utility() {
+        let s = state();
+        let job = JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, 1);
+        let u = placement_utility(
+            &s,
+            MachineId(0),
+            &job,
+            &[GpuId(3)],
+            UtilityWeights::default(),
+        );
+        assert!((u - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interference_lowers_utility() {
+        let mut s = state();
+        let solo = placement_utility(
+            &s,
+            MachineId(0),
+            &tiny_2gpu(0),
+            &[GpuId(0), GpuId(1)],
+            UtilityWeights::default(),
+        );
+        s.place(
+            JobSpec::new(9, NnModel::AlexNet, BatchClass::Tiny, 1),
+            on_machine(MachineId(0), &[GpuId(2)]),
+            1.0,
+        );
+        let contended = placement_utility(
+            &s,
+            MachineId(0),
+            &tiny_2gpu(0),
+            &[GpuId(0), GpuId(1)],
+            UtilityWeights::default(),
+        );
+        assert!(contended < solo);
+    }
+
+    #[test]
+    fn oracle_fragmentation_counts_hypothetical_allocation() {
+        let s = state();
+        let job = tiny_2gpu(0);
+        let oracle = StateOracle::new(&s, MachineId(0), &job);
+        // Empty machine: fragmentation 1.0 before, 0.5 after taking socket 0.
+        assert!((oracle.fragmentation_after(&[]) - 1.0).abs() < 1e-12);
+        assert!((oracle.fragmentation_after(&[GpuId(0), GpuId(1)]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn googlenet_neighbor_barely_lowers_utility() {
+        let mut s = state();
+        s.place(
+            JobSpec::new(9, NnModel::GoogLeNet, BatchClass::Big, 1),
+            on_machine(MachineId(0), &[GpuId(2)]),
+            1.0,
+        );
+        let u = placement_utility(
+            &s,
+            MachineId(0),
+            &tiny_2gpu(0),
+            &[GpuId(0), GpuId(1)],
+            UtilityWeights::default(),
+        );
+        assert!(u > 0.95, "GoogLeNet big-batch causes almost no pressure: {u}");
+    }
+}

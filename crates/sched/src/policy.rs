@@ -1,0 +1,401 @@
+//! The four placement policies of §5.2: `TOPO-AWARE`, `TOPO-AWARE-P`,
+//! `FCFS` and Best-Fit (`BF`).
+//!
+//! Every policy answers the same question — *which GPUs should this job
+//! get right now?* — and differs only in how it searches:
+//!
+//! * **FCFS** walks machines in id order and grabs the first free GPUs —
+//!   the greedy baseline with `Θ(|E_A| + |V_P|)` cost;
+//! * **Best-Fit** bin-packs: the feasible machine with the *fewest* free
+//!   GPUs wins, and inside it GPUs come from the most-utilized sockets;
+//! * **TOPO-AWARE(-P)** runs the Algorithm 2/3 DRB mapping on every
+//!   feasible machine and keeps the highest-utility solution; the `-P`
+//!   variant additionally *postpones* jobs whose best utility falls below
+//!   their `min_utility` SLO.
+
+use crate::oracle::{placement_utility, StateOracle};
+use crate::state::{on_machine, ClusterState};
+use gts_job::{JobGraph, JobSpec};
+use gts_map::{drb_map, UtilityWeights};
+use gts_topo::{GlobalGpuId, GpuId, MachineId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which placement strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// First come, first served over machines and GPU ids.
+    Fcfs,
+    /// Best-fit bin packing ("allocating first the GPUs from highly used
+    /// domains").
+    BestFit,
+    /// Utility-guided DRB mapping; always places when feasible.
+    TopoAware,
+    /// Utility-guided DRB mapping; postpones placements whose utility is
+    /// below the job's `min_utility`.
+    TopoAwareP,
+}
+
+impl PolicyKind {
+    /// All four evaluated policies, in the paper's comparison order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Fcfs,
+        PolicyKind::BestFit,
+        PolicyKind::TopoAware,
+        PolicyKind::TopoAwareP,
+    ];
+
+    /// Whether this policy may postpone low-utility placements.
+    pub fn postpones(self) -> bool {
+        matches!(self, PolicyKind::TopoAwareP)
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::BestFit => "BF",
+            PolicyKind::TopoAware => "TOPO-AWARE",
+            PolicyKind::TopoAwareP => "TOPO-AWARE-P",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A configured policy: the strategy plus the Eq. 2 weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Policy {
+    /// The strategy.
+    pub kind: PolicyKind,
+    /// Utility weights (αcc, αb, αd).
+    pub weights: UtilityWeights,
+}
+
+impl Policy {
+    /// Policy with the paper's equal weights.
+    pub fn new(kind: PolicyKind) -> Self {
+        Self { kind, weights: UtilityWeights::default() }
+    }
+}
+
+/// A concrete placement proposal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// GPUs to grant, in task order.
+    pub gpus: Vec<GlobalGpuId>,
+    /// Normalized utility of the proposal.
+    pub utility: f64,
+}
+
+impl Policy {
+    /// Proposes a placement for `job`, or `None` when no feasible set of
+    /// GPUs exists right now. Never mutates state.
+    pub fn decide(&self, state: &ClusterState, job: &JobSpec) -> Option<Decision> {
+        if job.constraints.anti_collocate && job.n_gpus > 1 {
+            return self.decide_anti_collocated(state, job);
+        }
+        let n = job.n_gpus as usize;
+        let candidates = state.machines_with_capacity(n);
+        if candidates.is_empty() {
+            // Multi-node-capable jobs may spill across machines — the
+            // disaggregated-GPU extension (§7 future work).
+            if !job.constraints.single_node {
+                return self.decide_spilled(state, job);
+            }
+            return None;
+        }
+        match self.kind {
+            PolicyKind::Fcfs => {
+                // First machine (in id order) whose pick also satisfies the
+                // §4.3 bandwidth constraint.
+                candidates.iter().find_map(|&machine| {
+                    let gpus: Vec<GpuId> =
+                        state.free_gpus(machine).into_iter().take(n).collect();
+                    state
+                        .fits_bw(machine, &gpus, job.bw_demand_gbs)
+                        .then(|| self.seal(state, job, machine, gpus))
+                })
+            }
+            PolicyKind::BestFit => {
+                let mut ordered = candidates;
+                ordered.sort_by_key(|&m| (state.free_count(m), m));
+                ordered.into_iter().find_map(|machine| {
+                    let gpus = best_fit_gpus(state, machine, n);
+                    state
+                        .fits_bw(machine, &gpus, job.bw_demand_gbs)
+                        .then(|| self.seal(state, job, machine, gpus))
+                })
+            }
+            PolicyKind::TopoAware | PolicyKind::TopoAwareP => {
+                let graph = JobGraph::from_spec(job);
+                let mut best: Option<(Decision, MachineId)> = None;
+                for &machine in &candidates {
+                    let free = state.free_gpus(machine);
+                    let oracle = StateOracle::new(state, machine, job);
+                    let Ok(gpus) = drb_map(&graph, &free, &oracle, self.weights) else {
+                        continue;
+                    };
+                    if !state.fits_bw(machine, &gpus, job.bw_demand_gbs) {
+                        continue;
+                    }
+                    let d = self.seal(state, job, machine, gpus);
+                    let better = match &best {
+                        None => true,
+                        Some((cur, _)) => d.utility > cur.utility + 1e-12,
+                    };
+                    if better {
+                        best = Some((d, machine));
+                    }
+                }
+                best.map(|(d, _)| d)
+            }
+        }
+    }
+
+    /// Spills a multi-node-capable job across machines when no single
+    /// machine can host it.
+    fn decide_spilled(&self, state: &ClusterState, job: &JobSpec) -> Option<Decision> {
+        match self.kind {
+            PolicyKind::TopoAware | PolicyKind::TopoAwareP => {
+                crate::spill::decide_spill(state, job, self.weights)
+            }
+            PolicyKind::Fcfs => {
+                let order: Vec<MachineId> = state.cluster().machines().collect();
+                crate::spill::greedy_spill(state, job, &order, self.weights)
+            }
+            PolicyKind::BestFit => {
+                let mut order: Vec<MachineId> = state.machines_with_capacity(1);
+                order.sort_by_key(|&m| (state.free_count(m), m));
+                crate::spill::greedy_spill(state, job, &order, self.weights)
+            }
+        }
+    }
+
+    /// Anti-collocated multi-GPU jobs take one GPU from each of `n`
+    /// distinct machines. Greedy for the baselines; utility-ranked machine
+    /// choice for the topology-aware policies (emptier machines first to
+    /// limit interference).
+    fn decide_anti_collocated(&self, state: &ClusterState, job: &JobSpec) -> Option<Decision> {
+        let n = job.n_gpus as usize;
+        let per_task_bw = job.bw_demand_gbs / n as f64;
+        let mut hosts: Vec<MachineId> = state
+            .machines_with_capacity(1)
+            .into_iter()
+            .filter(|&m| {
+                let free = state.free_gpus(m);
+                state.fits_bw(m, &free[..1], per_task_bw)
+            })
+            .collect();
+        if hosts.len() < n {
+            return None;
+        }
+        match self.kind {
+            PolicyKind::Fcfs => {}
+            PolicyKind::BestFit => hosts.sort_by_key(|&m| (state.free_count(m), m)),
+            PolicyKind::TopoAware | PolicyKind::TopoAwareP => {
+                // Prefer machines where the task will feel the least
+                // interference.
+                hosts.sort_by(|&a, &b| {
+                    let ia = StateOracle::new(state, a, job)
+                        .interference_of_first_free(state, a);
+                    let ib = StateOracle::new(state, b, job)
+                        .interference_of_first_free(state, b);
+                    ib.partial_cmp(&ia).expect("finite").then(a.cmp(&b))
+                });
+            }
+        }
+        let gpus: Vec<GlobalGpuId> = hosts[..n]
+            .iter()
+            .map(|&m| GlobalGpuId { machine: m, gpu: state.free_gpus(m)[0] })
+            .collect();
+        // Utility: communication crosses the network by construction, so
+        // u_cc uses the cluster-level best (which equals the actual for a
+        // forced spread — the job *asked* for it): score interference only.
+        let mean_interference: f64 = gpus
+            .iter()
+            .map(|g| {
+                StateOracle::new(state, g.machine, job).interference_one(&[g.gpu])
+            })
+            .sum::<f64>()
+            / n as f64;
+        let utility = self.weights.cc * 1.0
+            + self.weights.b * mean_interference
+            + self.weights.d * 1.0;
+        Some(Decision { gpus, utility })
+    }
+
+    /// Packages a single-machine GPU pick into a [`Decision`] with its
+    /// utility.
+    fn seal(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        machine: MachineId,
+        gpus: Vec<GpuId>,
+    ) -> Decision {
+        let utility = placement_utility(state, machine, job, &gpus, self.weights);
+        Decision { gpus: on_machine(machine, &gpus), utility }
+    }
+}
+
+/// Best-Fit GPU selection within a machine: GPUs from the most-utilized
+/// sockets first (fewest free GPUs), then by id.
+fn best_fit_gpus(state: &ClusterState, machine: MachineId, n: usize) -> Vec<GpuId> {
+    let topo = state.cluster().machine(machine);
+    let occupancy = state.socket_occupancy(machine);
+    let mut free = state.free_gpus(machine);
+    free.sort_by_key(|&g| {
+        let socket = topo.socket_of(g);
+        (occupancy[socket.index()].0, socket, g)
+    });
+    free.truncate(n);
+    free
+}
+
+impl StateOracle<'_> {
+    /// Interference the job would feel on the machine's first free GPU —
+    /// used to rank hosts for anti-collocated tasks.
+    fn interference_of_first_free(&self, state: &ClusterState, machine: MachineId) -> f64 {
+        match state.free_gpus(machine).first() {
+            Some(&g) => self.interference_one(&[g]),
+            None => 0.0,
+        }
+    }
+
+    /// Public-ish shim over `PlacementOracle::interference` for policy code.
+    pub(crate) fn interference_one(&self, gpus: &[GpuId]) -> f64 {
+        use gts_map::PlacementOracle as _;
+        self.interference(gpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_job::{BatchClass, Constraints, NnModel};
+    use gts_perf::ProfileLibrary;
+    use gts_topo::{power8_minsky, ClusterTopology};
+    use std::sync::Arc;
+
+    fn state(n_machines: usize) -> ClusterState {
+        let machine = power8_minsky();
+        let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+        let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+        ClusterState::new(cluster, profiles)
+    }
+
+    fn job(id: u64, gpus: u32) -> JobSpec {
+        JobSpec::new(id, NnModel::AlexNet, BatchClass::Tiny, gpus).with_min_utility(0.5)
+    }
+
+    fn g(m: u32, gpu: u32) -> GlobalGpuId {
+        GlobalGpuId { machine: MachineId(m), gpu: GpuId(gpu) }
+    }
+
+    #[test]
+    fn fcfs_takes_lowest_ids() {
+        let s = state(2);
+        let d = Policy::new(PolicyKind::Fcfs).decide(&s, &job(0, 2)).unwrap();
+        assert_eq!(d.gpus, vec![g(0, 0), g(0, 1)]);
+    }
+
+    #[test]
+    fn fcfs_is_topology_blind_under_fragmentation() {
+        let mut s = state(1);
+        // GPUs 1 and 2 free: one per socket.
+        s.place(job(10, 1), vec![g(0, 0)], 1.0);
+        s.place(job(11, 1), vec![g(0, 3)], 1.0);
+        let d = Policy::new(PolicyKind::Fcfs).decide(&s, &job(0, 2)).unwrap();
+        assert_eq!(d.gpus, vec![g(0, 1), g(0, 2)]);
+        assert!(d.utility < 0.5, "cross-socket pick scores low: {}", d.utility);
+    }
+
+    #[test]
+    fn best_fit_prefers_the_fuller_machine() {
+        let mut s = state(2);
+        s.place(job(10, 2), vec![g(1, 0), g(1, 1)], 1.0);
+        // Machine 1 has 2 free, machine 0 has 4 free: BF picks machine 1.
+        let d = Policy::new(PolicyKind::BestFit).decide(&s, &job(0, 2)).unwrap();
+        assert_eq!(d.gpus[0].machine, MachineId(1));
+    }
+
+    #[test]
+    fn best_fit_packs_into_the_fuller_socket() {
+        let mut s = state(1);
+        s.place(job(10, 1), vec![g(0, 0)], 1.0);
+        // Socket 0 has 1 free, socket 1 has 2: BF takes GPU1 first.
+        let d = Policy::new(PolicyKind::BestFit).decide(&s, &job(0, 1)).unwrap();
+        assert_eq!(d.gpus, vec![g(0, 1)]);
+    }
+
+    #[test]
+    fn topo_aware_packs_a_two_gpu_job() {
+        let s = state(1);
+        let d = Policy::new(PolicyKind::TopoAware).decide(&s, &job(0, 2)).unwrap();
+        let topo = s.cluster().machine(MachineId(0));
+        let local: Vec<GpuId> = d.gpus.iter().map(|x| x.gpu).collect();
+        assert!(topo.is_packed(&local), "got {local:?}");
+        assert!((d.utility - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topo_aware_prefers_an_idle_machine_over_a_contended_one() {
+        let mut s = state(2);
+        // Machine 0 hosts a noisy tiny-batch job.
+        s.place(job(10, 2), vec![g(0, 0), g(0, 1)], 1.0);
+        let d = Policy::new(PolicyKind::TopoAware).decide(&s, &job(0, 2)).unwrap();
+        assert_eq!(d.gpus[0].machine, MachineId(1), "should dodge interference");
+    }
+
+    #[test]
+    fn decide_returns_none_when_nothing_fits() {
+        let mut s = state(1);
+        s.place(job(10, 4), vec![g(0, 0), g(0, 1), g(0, 2), g(0, 3)], 1.0);
+        for kind in PolicyKind::ALL {
+            assert!(Policy::new(kind).decide(&s, &job(0, 1)).is_none(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn fragmented_machine_yields_low_utility_for_topo_aware() {
+        let mut s = state(1);
+        s.place(job(10, 1), vec![g(0, 0)], 1.0);
+        s.place(job(11, 1), vec![g(0, 2)], 1.0);
+        let d = Policy::new(PolicyKind::TopoAwareP).decide(&s, &job(0, 2)).unwrap();
+        assert!(d.utility < 0.5, "got {}", d.utility);
+        // The policy itself only *proposes*; postponement is the
+        // scheduler's call (Algorithm 1).
+    }
+
+    #[test]
+    fn anti_collocated_job_spreads_across_machines() {
+        let s = state(3);
+        let mut j = job(0, 2);
+        j.constraints = Constraints { single_node: false, anti_collocate: true };
+        for kind in PolicyKind::ALL {
+            let d = Policy::new(kind).decide(&s, &j).unwrap();
+            let machines: Vec<MachineId> = d.gpus.iter().map(|x| x.machine).collect();
+            assert_eq!(machines.len(), 2, "{kind}");
+            assert_ne!(machines[0], machines[1], "{kind} must spread");
+        }
+    }
+
+    #[test]
+    fn anti_collocated_needs_enough_machines() {
+        let s = state(1);
+        let mut j = job(0, 2);
+        j.constraints = Constraints { single_node: false, anti_collocate: true };
+        assert!(Policy::new(PolicyKind::TopoAware).decide(&s, &j).is_none());
+    }
+
+    #[test]
+    fn policy_display_names_match_the_paper() {
+        assert_eq!(PolicyKind::Fcfs.to_string(), "FCFS");
+        assert_eq!(PolicyKind::BestFit.to_string(), "BF");
+        assert_eq!(PolicyKind::TopoAware.to_string(), "TOPO-AWARE");
+        assert_eq!(PolicyKind::TopoAwareP.to_string(), "TOPO-AWARE-P");
+        assert!(PolicyKind::TopoAwareP.postpones());
+        assert!(!PolicyKind::TopoAware.postpones());
+    }
+}

@@ -1,0 +1,484 @@
+//! Live cluster allocation state.
+//!
+//! Tracks which GPUs are free on every machine and which jobs hold the
+//! rest, together with the §4.2 profiles the interference predictor needs.
+//! Allocations are cluster-wide GPU sets ([`GlobalGpuId`]) so single-node
+//! jobs and anti-collocated (one-task-per-machine) jobs share one code
+//! path. All placement policies operate on this state; the simulator and
+//! the prototype mutate it through `place`/`release`.
+
+use gts_job::{JobId, JobProfile, JobSpec};
+use gts_perf::ProfileLibrary;
+use gts_topo::{ClusterTopology, GlobalGpuId, GpuId, MachineId, SocketId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A job's GPU allocation (possibly spanning machines).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// The placed job.
+    pub spec: JobSpec,
+    /// GPUs granted, in task order.
+    pub gpus: Vec<GlobalGpuId>,
+    /// Utility the placement scored at decision time.
+    pub utility: f64,
+}
+
+impl Allocation {
+    /// The job's profile, looked up from a library.
+    pub fn profile<'a>(&self, lib: &'a ProfileLibrary) -> &'a JobProfile {
+        lib.get(self.spec.model, self.spec.batch)
+    }
+
+    /// The GPUs this allocation holds on one machine.
+    pub fn gpus_on(&self, machine: MachineId) -> Vec<GpuId> {
+        self.gpus
+            .iter()
+            .filter(|g| g.machine == machine)
+            .map(|g| g.gpu)
+            .collect()
+    }
+
+    /// Machines touched by this allocation, deduplicated and ascending.
+    pub fn machines(&self) -> Vec<MachineId> {
+        let mut ms: Vec<MachineId> = self.gpus.iter().map(|g| g.machine).collect();
+        ms.sort_unstable();
+        ms.dedup();
+        ms
+    }
+
+    /// True when the allocation sits entirely on one machine.
+    pub fn is_single_node(&self) -> bool {
+        self.machines().len() <= 1
+    }
+}
+
+/// Default per-socket host memory bandwidth, GB/s (Power8 "Minsky": 115 GB/s
+/// sustained per socket, §3.1's 256 GB DDR4 configuration).
+pub const DEFAULT_SOCKET_BW_GBS: f64 = 115.0;
+
+/// Free/busy GPU bookkeeping across the cluster plus the running-job table.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    cluster: Arc<ClusterTopology>,
+    profiles: Arc<ProfileLibrary>,
+    /// `free[machine][gpu]` — GPU availability bitmaps.
+    free: Vec<Vec<bool>>,
+    /// `bw_used[machine][socket]` — committed memory bandwidth, GB/s (§4.3's
+    /// `t_bw ≤ p_bw` constraint).
+    bw_used: Vec<Vec<f64>>,
+    /// Machines currently failed/offline — excluded from every capacity
+    /// query until marked up again.
+    down: Vec<bool>,
+    /// Per-socket bandwidth capacity, GB/s.
+    bw_capacity_gbs: f64,
+    running: HashMap<JobId, Allocation>,
+}
+
+impl ClusterState {
+    /// Fresh state: everything free, nothing running, default socket
+    /// bandwidth capacity.
+    pub fn new(cluster: Arc<ClusterTopology>, profiles: Arc<ProfileLibrary>) -> Self {
+        let free = cluster
+            .machines()
+            .map(|m| vec![true; cluster.machine(m).n_gpus()])
+            .collect();
+        let bw_used = cluster
+            .machines()
+            .map(|m| vec![0.0; cluster.machine(m).n_sockets()])
+            .collect();
+        let down = vec![false; cluster.n_machines()];
+        Self {
+            cluster,
+            profiles,
+            free,
+            bw_used,
+            bw_capacity_gbs: DEFAULT_SOCKET_BW_GBS,
+            down,
+            running: HashMap::new(),
+        }
+    }
+
+    /// Marks a machine offline (failed) or back online. Offline machines
+    /// vanish from every capacity query; the caller is responsible for
+    /// cancelling/requeueing whatever was running there first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when taking a machine down that still hosts allocations.
+    pub fn set_machine_down(&mut self, machine: MachineId, down: bool) {
+        if down {
+            assert!(
+                self.running_on(machine).is_empty(),
+                "cancel {machine}'s jobs before failing it"
+            );
+        }
+        self.down[machine.index()] = down;
+    }
+
+    /// True when the machine is marked offline.
+    pub fn is_machine_down(&self, machine: MachineId) -> bool {
+        self.down[machine.index()]
+    }
+
+    /// Overrides the per-socket memory-bandwidth capacity (GB/s).
+    pub fn with_bw_capacity(mut self, gbs: f64) -> Self {
+        assert!(gbs > 0.0 && gbs.is_finite(), "capacity must be positive");
+        self.bw_capacity_gbs = gbs;
+        self
+    }
+
+    /// Per-socket bandwidth capacity in force, GB/s.
+    pub fn bw_capacity_gbs(&self) -> f64 {
+        self.bw_capacity_gbs
+    }
+
+    /// Remaining memory bandwidth on one socket, GB/s.
+    pub fn socket_bw_free(&self, machine: MachineId, socket: SocketId) -> f64 {
+        (self.bw_capacity_gbs - self.bw_used[machine.index()][socket.index()]).max(0.0)
+    }
+
+    /// How a job's bandwidth demand lands on sockets: proportional to the
+    /// GPUs it holds there.
+    fn bw_shares(&self, machine: MachineId, gpus: &[GpuId], demand: f64) -> Vec<(usize, f64)> {
+        if demand <= 0.0 || gpus.is_empty() {
+            return Vec::new();
+        }
+        let topo = self.cluster.machine(machine);
+        let per_gpu = demand / gpus.len() as f64;
+        let mut shares: Vec<(usize, f64)> = Vec::new();
+        for &g in gpus {
+            let s = topo.socket_of(g).index();
+            match shares.iter_mut().find(|(idx, _)| *idx == s) {
+                Some((_, v)) => *v += per_gpu,
+                None => shares.push((s, per_gpu)),
+            }
+        }
+        shares
+    }
+
+    /// §4.3 capacity check: would placing `demand` GB/s over these GPUs
+    /// keep every touched socket within `p_bw`?
+    pub fn fits_bw(&self, machine: MachineId, gpus: &[GpuId], demand: f64) -> bool {
+        self.bw_shares(machine, gpus, demand).iter().all(|&(s, share)| {
+            self.bw_used[machine.index()][s] + share <= self.bw_capacity_gbs + 1e-9
+        })
+    }
+
+    /// The topology this state tracks.
+    pub fn cluster(&self) -> &ClusterTopology {
+        &self.cluster
+    }
+
+    /// Shared handle to the topology.
+    pub fn cluster_arc(&self) -> Arc<ClusterTopology> {
+        Arc::clone(&self.cluster)
+    }
+
+    /// The profile library in force.
+    pub fn profiles(&self) -> &ProfileLibrary {
+        &self.profiles
+    }
+
+    /// Shared handle to the profile library.
+    pub fn profiles_arc(&self) -> Arc<ProfileLibrary> {
+        Arc::clone(&self.profiles)
+    }
+
+    /// Free GPUs on `machine`, ascending (none when the machine is down).
+    pub fn free_gpus(&self, machine: MachineId) -> Vec<GpuId> {
+        if self.down[machine.index()] {
+            return Vec::new();
+        }
+        self.free[machine.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(GpuId(i as u32)))
+            .collect()
+    }
+
+    /// Number of free GPUs on `machine` (0 when the machine is down).
+    pub fn free_count(&self, machine: MachineId) -> usize {
+        if self.down[machine.index()] {
+            return 0;
+        }
+        self.free[machine.index()].iter().filter(|&&f| f).count()
+    }
+
+    /// Total free GPUs across the cluster.
+    pub fn total_free(&self) -> usize {
+        self.cluster.machines().map(|m| self.free_count(m)).sum()
+    }
+
+    /// True when at least one GPU is free anywhere ("availableResources(P)"
+    /// in Algorithm 1).
+    pub fn has_free_resources(&self) -> bool {
+        self.total_free() > 0
+    }
+
+    /// Free GPUs of `machine` grouped per socket as `(free, total)` —
+    /// the Eq. 5 input.
+    pub fn socket_occupancy(&self, machine: MachineId) -> Vec<(u32, u32)> {
+        let topo = self.cluster.machine(machine);
+        topo.sockets()
+            .map(|s| {
+                let gpus = topo.gpus_in_socket(s);
+                let free = gpus
+                    .iter()
+                    .filter(|g| self.free[machine.index()][g.index()])
+                    .count() as u32;
+                (free, gpus.len() as u32)
+            })
+            .collect()
+    }
+
+    /// Machines with at least `n` free GPUs, ascending id — the Algorithm 1
+    /// `filterHostsByConstraints` capacity filter.
+    pub fn machines_with_capacity(&self, n: usize) -> Vec<MachineId> {
+        self.cluster
+            .machines()
+            .filter(|&m| self.free_count(m) >= n)
+            .collect()
+    }
+
+    /// Allocations holding at least one GPU on `machine`, ascending job id.
+    pub fn running_on(&self, machine: MachineId) -> Vec<&Allocation> {
+        let mut v: Vec<&Allocation> = self
+            .running
+            .values()
+            .filter(|a| a.gpus.iter().any(|g| g.machine == machine))
+            .collect();
+        v.sort_by_key(|a| a.spec.id);
+        v
+    }
+
+    /// All running allocations, by job id.
+    pub fn running(&self) -> impl Iterator<Item = &Allocation> {
+        self.running.values()
+    }
+
+    /// Looks up one running allocation.
+    pub fn allocation(&self, id: JobId) -> Option<&Allocation> {
+        self.running.get(&id)
+    }
+
+    /// Number of running jobs.
+    pub fn n_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Commits a placement, marking its GPUs busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any requested GPU is already allocated or the job id is
+    /// already running — both indicate a scheduler bug.
+    pub fn place(&mut self, spec: JobSpec, gpus: Vec<GlobalGpuId>, utility: f64) {
+        assert!(
+            !self.running.contains_key(&spec.id),
+            "{} placed twice",
+            spec.id
+        );
+        for &g in &gpus {
+            assert!(
+                !self.down[g.machine.index()],
+                "{} is down; the scheduler must not place there",
+                g.machine
+            );
+            let slot = &mut self.free[g.machine.index()][g.gpu.index()];
+            assert!(*slot, "{g} is already allocated");
+            *slot = false;
+        }
+        // Commit the bandwidth demand per machine.
+        let mut machines: Vec<MachineId> = gpus.iter().map(|g| g.machine).collect();
+        machines.sort_unstable();
+        machines.dedup();
+        for m in machines {
+            let local: Vec<GpuId> = gpus
+                .iter()
+                .filter(|g| g.machine == m)
+                .map(|g| g.gpu)
+                .collect();
+            let machine_share =
+                spec.bw_demand_gbs * local.len() as f64 / gpus.len().max(1) as f64;
+            for (s, share) in self.bw_shares(m, &local, machine_share) {
+                self.bw_used[m.index()][s] += share;
+            }
+        }
+        let id = spec.id;
+        self.running.insert(id, Allocation { spec, gpus, utility });
+    }
+
+    /// Releases a finished job's GPUs. Returns the allocation it held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not running.
+    pub fn release(&mut self, id: JobId) -> Allocation {
+        let alloc = self
+            .running
+            .remove(&id)
+            .unwrap_or_else(|| panic!("{id} is not running"));
+        for &g in &alloc.gpus {
+            self.free[g.machine.index()][g.gpu.index()] = true;
+        }
+        for m in alloc.machines() {
+            let local = alloc.gpus_on(m);
+            let machine_share = alloc.spec.bw_demand_gbs * local.len() as f64
+                / alloc.gpus.len().max(1) as f64;
+            for (s, share) in self.bw_shares(m, &local, machine_share) {
+                let used = &mut self.bw_used[m.index()][s];
+                *used = (*used - share).max(0.0);
+            }
+        }
+        alloc
+    }
+
+    /// Sockets of `machine` touched by running jobs other than `exclude`.
+    pub fn busy_sockets(&self, machine: MachineId, exclude: Option<JobId>) -> Vec<SocketId> {
+        let topo = self.cluster.machine(machine);
+        let mut sockets: Vec<SocketId> = self
+            .running
+            .values()
+            .filter(|a| Some(a.spec.id) != exclude)
+            .flat_map(|a| a.gpus_on(machine))
+            .map(|g| topo.socket_of(g))
+            .collect();
+        sockets.sort_unstable();
+        sockets.dedup();
+        sockets
+    }
+}
+
+/// Lifts machine-local GPU ids into the cluster id space.
+pub fn on_machine(machine: MachineId, gpus: &[GpuId]) -> Vec<GlobalGpuId> {
+    gpus.iter().map(|&gpu| GlobalGpuId { machine, gpu }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_job::{BatchClass, NnModel};
+    use gts_topo::power8_minsky;
+
+    fn state(n_machines: usize) -> ClusterState {
+        let machine = power8_minsky();
+        let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+        let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+        ClusterState::new(cluster, profiles)
+    }
+
+    fn spec(id: u64, gpus: u32) -> JobSpec {
+        JobSpec::new(id, NnModel::AlexNet, BatchClass::Tiny, gpus)
+    }
+
+    fn g(m: u32, gpu: u32) -> GlobalGpuId {
+        GlobalGpuId { machine: MachineId(m), gpu: GpuId(gpu) }
+    }
+
+    #[test]
+    fn fresh_state_is_fully_free() {
+        let s = state(2);
+        assert_eq!(s.total_free(), 8);
+        assert!(s.has_free_resources());
+        assert_eq!(s.free_gpus(MachineId(0)).len(), 4);
+        assert_eq!(s.socket_occupancy(MachineId(0)), vec![(2, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn place_and_release_round_trip() {
+        let mut s = state(1);
+        s.place(spec(0, 2), vec![g(0, 0), g(0, 1)], 1.0);
+        assert_eq!(s.free_count(MachineId(0)), 2);
+        assert_eq!(s.socket_occupancy(MachineId(0)), vec![(0, 2), (2, 2)]);
+        assert_eq!(s.n_running(), 1);
+        assert!(s.allocation(JobId(0)).is_some());
+
+        let alloc = s.release(JobId(0));
+        assert_eq!(alloc.gpus, vec![g(0, 0), g(0, 1)]);
+        assert!(alloc.is_single_node());
+        assert_eq!(s.free_count(MachineId(0)), 4);
+        assert_eq!(s.n_running(), 0);
+    }
+
+    #[test]
+    fn capacity_filter_respects_occupancy() {
+        let mut s = state(2);
+        s.place(spec(0, 3), vec![g(0, 0), g(0, 1), g(0, 2)], 1.0);
+        assert_eq!(s.machines_with_capacity(2), vec![MachineId(1)]);
+        assert_eq!(
+            s.machines_with_capacity(1),
+            vec![MachineId(0), MachineId(1)]
+        );
+        assert_eq!(s.machines_with_capacity(5), vec![]);
+    }
+
+    #[test]
+    fn multi_machine_allocation_is_tracked_per_machine() {
+        let mut s = state(2);
+        let mut j = spec(0, 2);
+        j.constraints = gts_job::Constraints { single_node: false, anti_collocate: true };
+        s.place(j, vec![g(0, 0), g(1, 0)], 0.9);
+        let alloc = s.allocation(JobId(0)).unwrap();
+        assert!(!alloc.is_single_node());
+        assert_eq!(alloc.machines(), vec![MachineId(0), MachineId(1)]);
+        assert_eq!(alloc.gpus_on(MachineId(1)), vec![GpuId(0)]);
+        assert_eq!(s.running_on(MachineId(0)).len(), 1);
+        assert_eq!(s.running_on(MachineId(1)).len(), 1);
+        s.release(JobId(0));
+        assert_eq!(s.total_free(), 8);
+    }
+
+    #[test]
+    fn busy_sockets_excludes_requested_job() {
+        let mut s = state(1);
+        s.place(spec(0, 1), vec![g(0, 0)], 1.0);
+        s.place(spec(1, 1), vec![g(0, 2)], 1.0);
+        assert_eq!(
+            s.busy_sockets(MachineId(0), None),
+            vec![SocketId(0), SocketId(1)]
+        );
+        assert_eq!(
+            s.busy_sockets(MachineId(0), Some(JobId(0))),
+            vec![SocketId(1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn double_allocation_panics() {
+        let mut s = state(1);
+        s.place(spec(0, 1), vec![g(0, 0)], 1.0);
+        s.place(spec(1, 1), vec![g(0, 0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn duplicate_job_panics() {
+        let mut s = state(1);
+        s.place(spec(0, 1), vec![g(0, 0)], 1.0);
+        s.place(spec(0, 1), vec![g(0, 1)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not running")]
+    fn releasing_unknown_job_panics() {
+        let mut s = state(1);
+        s.release(JobId(9));
+    }
+
+    #[test]
+    fn running_on_filters_by_machine() {
+        let mut s = state(2);
+        s.place(spec(0, 1), vec![g(0, 0)], 1.0);
+        s.place(spec(1, 1), vec![g(1, 0)], 1.0);
+        assert_eq!(s.running_on(MachineId(0)).len(), 1);
+        assert_eq!(s.running_on(MachineId(1))[0].spec.id, JobId(1));
+    }
+
+    #[test]
+    fn on_machine_lifts_ids() {
+        let lifted = on_machine(MachineId(3), &[GpuId(0), GpuId(2)]);
+        assert_eq!(lifted, vec![g(3, 0), g(3, 2)]);
+    }
+}

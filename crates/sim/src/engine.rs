@@ -1,0 +1,662 @@
+//! The discrete-event loop.
+//!
+//! Events are job arrivals and job completions; after every event batch the
+//! scheduler runs one Algorithm 1 iteration ("the scheduler sleeps until a
+//! job has finished or a time interval has expired" — with an analytic
+//! progress model the interval wakeups are unnecessary, every state change
+//! is an event). Between events, running jobs progress at
+//! `1/(1+slowdown)`; slowdowns are re-derived after every placement or
+//! completion, so interference couples job completion times exactly as on
+//! the real machine.
+
+use crate::ideal::ideal_duration_s;
+use crate::metrics::{JobRecord, SimEvent, SimResult, TimelineSegment, UtilitySample};
+use crate::runtime::{current_slowdown, RunningJob};
+use gts_job::JobSpec;
+use gts_perf::ProfileLibrary;
+use gts_sched::{CancelOutcome, ClusterState, PlacementOutcome, Policy, Scheduler, SchedulerConfig};
+use gts_topo::{ClusterTopology, MachineId};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Placement policy under test.
+    pub policy: Policy,
+    /// Record `(t, mean utility)` samples (cheap; on by default).
+    pub sample_utility: bool,
+    /// Relative execution-time jitter (±fraction), emulating the run-to-run
+    /// variance public clouds exhibit (\[24\], \[27\] in the paper's related
+    /// work). Deterministic per `(jitter_seed, job id)`. 0 = exact model.
+    pub jitter: f64,
+    /// Seed for the jitter draw.
+    pub jitter_seed: u64,
+    /// Scripted machine failures: at each `(time_s, machine)` the machine
+    /// goes offline, its running jobs lose their progress and return to the
+    /// waiting queue to be restarted elsewhere.
+    pub machine_failures: Vec<(f64, MachineId)>,
+    /// Scripted machine recoveries: at each `(time_s, machine)` a failed
+    /// machine rejoins the pool.
+    pub machine_recoveries: Vec<(f64, MachineId)>,
+}
+
+impl SimConfig {
+    /// Config with the given policy, utility sampling on, no jitter, no
+    /// failures.
+    pub fn new(policy: Policy) -> Self {
+        Self {
+            policy,
+            sample_utility: true,
+            jitter: 0.0,
+            jitter_seed: 0,
+            machine_failures: Vec::new(),
+            machine_recoveries: Vec::new(),
+        }
+    }
+
+    /// Schedules machine failures.
+    pub fn with_machine_failures(mut self, failures: Vec<(f64, MachineId)>) -> Self {
+        self.machine_failures = failures;
+        self
+    }
+
+    /// Schedules machine recoveries.
+    pub fn with_machine_recoveries(mut self, recoveries: Vec<(f64, MachineId)>) -> Self {
+        self.machine_recoveries = recoveries;
+        self
+    }
+
+    /// Enables execution-time jitter.
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must lie in [0, 1)");
+        self.jitter = jitter;
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+/// Deterministic per-job jitter factor in `[1-jitter, 1+jitter)`, from a
+/// splitmix64 hash of `(seed, job id)` — no RNG state to thread through the
+/// event loop.
+fn jitter_factor(seed: u64, job: u64, jitter: f64) -> f64 {
+    if jitter == 0.0 {
+        return 1.0;
+    }
+    let mut z = seed ^ job.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    1.0 + jitter * (2.0 * unit - 1.0)
+}
+
+/// A trace-driven simulation run.
+pub struct Simulation {
+    cluster: Arc<ClusterTopology>,
+    scheduler: Scheduler,
+    config: SimConfig,
+    now: f64,
+    pending: VecDeque<JobSpec>,
+    running: Vec<RunningJob>,
+    records: Vec<JobRecord>,
+    unplaceable: Vec<JobSpec>,
+    timeline: Vec<TimelineSegment>,
+    utility_series: Vec<UtilitySample>,
+    pending_failures: Vec<(f64, MachineId)>,
+    pending_recoveries: Vec<(f64, MachineId)>,
+    restarts: std::collections::HashMap<gts_job::JobId, u32>,
+    failures_applied: Vec<(f64, MachineId)>,
+    events: Vec<SimEvent>,
+}
+
+impl Simulation {
+    /// Builds a simulation over `cluster` with profile library `profiles`.
+    pub fn new(
+        cluster: Arc<ClusterTopology>,
+        profiles: Arc<ProfileLibrary>,
+        config: SimConfig,
+    ) -> Self {
+        let state = ClusterState::new(Arc::clone(&cluster), profiles);
+        let scheduler = Scheduler::new(state, SchedulerConfig { policy: config.policy });
+        let mut pending_failures = config.machine_failures.clone();
+        pending_failures.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite failure times"));
+        let mut pending_recoveries = config.machine_recoveries.clone();
+        pending_recoveries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite recovery times"));
+        Self {
+            cluster,
+            scheduler,
+            config,
+            now: 0.0,
+            pending: VecDeque::new(),
+            running: Vec::new(),
+            records: Vec::new(),
+            unplaceable: Vec::new(),
+            timeline: Vec::new(),
+            utility_series: Vec::new(),
+            pending_failures,
+            pending_recoveries,
+            restarts: std::collections::HashMap::new(),
+            failures_applied: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Runs a whole trace to completion and returns the result.
+    pub fn run(mut self, mut trace: Vec<JobSpec>) -> SimResult {
+        trace.sort_by(|a, b| {
+            a.arrival_s
+                .partial_cmp(&b.arrival_s)
+                .expect("finite arrivals")
+                .then(a.id.cmp(&b.id))
+        });
+        // Reject jobs that can never fit anywhere up front.
+        for job in trace {
+            if self.fits_somewhere(&job) {
+                self.pending.push_back(job);
+            } else {
+                self.unplaceable.push(job);
+            }
+        }
+
+        loop {
+            let next_arrival = self.pending.front().map(|j| j.arrival_s);
+            let next_completion = self
+                .running
+                .iter()
+                .map(|r| self.now + r.eta_s())
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let next_failure = self.pending_failures.first().map(|&(t, _)| t);
+            let next_recovery = self.pending_recoveries.first().map(|&(t, _)| t);
+
+            let timed = [next_arrival, next_completion, next_failure, next_recovery]
+                .into_iter()
+                .flatten()
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let t = match timed {
+                Some(t) => t,
+                None => {
+                    // No more timed events. Give the scheduler one more
+                    // chance (the cluster is idle, so anything placeable
+                    // places now); whatever still sticks at the head of the
+                    // queue can never run.
+                    self.run_scheduler();
+                    if !self.running.is_empty() {
+                        self.refresh_slowdowns();
+                        continue;
+                    }
+                    match self.scheduler.drop_head() {
+                        Some(stuck) => {
+                            self.unplaceable.push(stuck);
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+            };
+
+            // Integrate progress up to the event.
+            let dt = (t - self.now).max(0.0);
+            for r in &mut self.running {
+                r.advance(dt);
+            }
+            self.now = t;
+
+            self.process_completions();
+            self.process_failures();
+            self.process_recoveries();
+            self.process_arrivals();
+            self.run_scheduler();
+            self.refresh_slowdowns();
+            if self.config.sample_utility {
+                self.sample_utility();
+            }
+
+            if self.pending.is_empty()
+                && self.running.is_empty()
+                && self.scheduler.queue().fully_drained()
+            {
+                break;
+            }
+        }
+
+        let makespan_s = self
+            .records
+            .iter()
+            .map(|r| r.finished_at_s)
+            .fold(0.0, f64::max);
+        SimResult {
+            policy: self.config.policy.kind,
+            makespan_s,
+            slo_violations: self.scheduler.slo_violations(),
+            mean_decision_s: self.scheduler.decision_stats().mean_s(),
+            records: self.records,
+            unplaceable: self.unplaceable,
+            timeline: self.timeline,
+            utility_series: self.utility_series,
+            failures: self.failures_applied,
+            events: self.events,
+        }
+    }
+
+    /// Applies every failure scheduled at or before `now`: the machine's
+    /// running jobs are torn down and resubmitted (losing their progress),
+    /// then the machine goes dark.
+    fn process_failures(&mut self) {
+        while let Some(&(t, machine)) = self.pending_failures.first() {
+            if t > self.now + 1e-9 {
+                break;
+            }
+            self.pending_failures.remove(0);
+            if self.scheduler.state().is_machine_down(machine) {
+                continue;
+            }
+            // Tear down every running job touching the machine.
+            let victims: Vec<gts_job::JobId> = self
+                .running
+                .iter()
+                .filter(|r| r.alloc.gpus.iter().any(|g| g.machine == machine))
+                .map(|r| r.alloc.spec.id)
+                .collect();
+            for id in victims {
+                let idx = self
+                    .running
+                    .iter()
+                    .position(|r| r.alloc.spec.id == id)
+                    .expect("victim is running");
+                let lost = self.running.swap_remove(idx);
+                match self.scheduler.cancel(id) {
+                    CancelOutcome::Stopped(alloc) => {
+                        // Interrupted segment still shows in the timeline.
+                        self.timeline.push(TimelineSegment {
+                            job: id,
+                            gpus: alloc.gpus.clone(),
+                            start_s: lost.started_at,
+                            end_s: self.now,
+                        });
+                    }
+                    other => panic!("cancel of running {id} returned {other:?}"),
+                }
+                *self.restarts.entry(id).or_insert(0) += 1;
+                // Resubmit from scratch; arrival time stays the original so
+                // queue fairness is preserved.
+                self.scheduler.submit(lost.alloc.spec.clone());
+            }
+            self.scheduler.state_mut().set_machine_down(machine, true);
+            self.failures_applied.push((self.now, machine));
+            let interrupted: Vec<gts_job::JobId> = self
+                .restarts
+                .keys()
+                .copied()
+                .filter(|id| self.scheduler.queue().contains(*id))
+                .collect();
+            self.events.push(SimEvent::MachineFailed {
+                t_s: self.now,
+                machine,
+                interrupted,
+            });
+        }
+    }
+
+    fn fits_somewhere(&self, job: &JobSpec) -> bool {
+        if job.constraints.anti_collocate && job.n_gpus > 1 {
+            return (job.n_gpus as usize) <= self.cluster.n_machines();
+        }
+        if !job.constraints.single_node {
+            // Multi-node-capable jobs can spill across the whole cluster.
+            return (job.n_gpus as usize) <= self.cluster.n_gpus();
+        }
+        self.cluster
+            .machines()
+            .any(|m| self.cluster.machine(m).n_gpus() >= job.n_gpus as usize)
+    }
+
+    fn process_completions(&mut self) {
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].finished() {
+                let done = self.running.swap_remove(i);
+                let alloc = self.scheduler.complete(done.alloc.spec.id);
+                debug_assert_eq!(alloc.gpus, done.alloc.gpus);
+                let ideal = self.ideal_for(&done.alloc.spec);
+                self.timeline.push(TimelineSegment {
+                    job: done.alloc.spec.id,
+                    gpus: done.alloc.gpus.clone(),
+                    start_s: done.started_at,
+                    end_s: self.now,
+                });
+                self.events.push(SimEvent::Completed {
+                    t_s: self.now,
+                    job: done.alloc.spec.id,
+                });
+                self.records.push(JobRecord {
+                    placed_at_s: done.started_at,
+                    finished_at_s: self.now,
+                    gpus: done.alloc.gpus,
+                    utility: done.alloc.utility,
+                    slo_violated: done.alloc.utility + 1e-9 < done.alloc.spec.min_utility,
+                    ideal_duration_s: ideal,
+                    postponements: self.scheduler.postpone_count(done.alloc.spec.id),
+                    restarts: self.restarts.get(&done.alloc.spec.id).copied().unwrap_or(0),
+                    spec: done.alloc.spec,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Brings scheduled machines back online.
+    fn process_recoveries(&mut self) {
+        while let Some(&(t, machine)) = self.pending_recoveries.first() {
+            if t > self.now + 1e-9 {
+                break;
+            }
+            self.pending_recoveries.remove(0);
+            if self.scheduler.state().is_machine_down(machine) {
+                self.scheduler.state_mut().set_machine_down(machine, false);
+            }
+        }
+    }
+
+    fn process_arrivals(&mut self) {
+        while let Some(job) = self.pending.front() {
+            if job.arrival_s <= self.now + 1e-9 {
+                let job = self.pending.pop_front().expect("front checked");
+                self.events.push(SimEvent::Arrived { t_s: self.now, job: job.id });
+                self.scheduler.submit(job);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn run_scheduler(&mut self) {
+        let outcomes = self.scheduler.run_iteration();
+        for outcome in outcomes {
+            if let PlacementOutcome::PostponedLowUtility { id, .. } = &outcome {
+                self.events.push(SimEvent::Postponed { t_s: self.now, job: *id });
+            }
+            if let PlacementOutcome::Placed { spec, gpus: _, utility, .. } = outcome {
+                self.events.push(SimEvent::Placed {
+                    t_s: self.now,
+                    job: spec.id,
+                    utility,
+                });
+                let alloc = self
+                    .scheduler
+                    .state()
+                    .allocation(spec.id)
+                    .expect("just placed")
+                    .clone();
+                let mut job = RunningJob::start(alloc, &self.cluster, self.now);
+                job.remaining_solo_s *= jitter_factor(
+                    self.config.jitter_seed,
+                    job.alloc.spec.id.0,
+                    self.config.jitter,
+                );
+                self.running.push(job);
+            }
+        }
+    }
+
+    fn refresh_slowdowns(&mut self) {
+        let snapshot: Vec<RunningJob> = self.running.clone();
+        let refs: Vec<&RunningJob> = snapshot.iter().collect();
+        for r in &mut self.running {
+            r.slowdown = current_slowdown(r, &refs, &self.cluster);
+        }
+    }
+
+    fn sample_utility(&mut self) {
+        let mean = if self.running.is_empty() {
+            1.0
+        } else {
+            self.running.iter().map(|r| r.alloc.utility).sum::<f64>() / self.running.len() as f64
+        };
+        self.utility_series.push(UtilitySample { t_s: self.now, mean_utility: mean });
+    }
+
+    fn ideal_for(&self, spec: &JobSpec) -> f64 {
+        // Homogeneous clusters (the paper's setting): machine 0 is
+        // representative. For heterogeneous clusters, take the fastest.
+        let best = self
+            .cluster
+            .machines()
+            .filter(|&m| self.cluster.machine(m).n_gpus() >= spec.n_gpus as usize)
+            .map(|m| ideal_duration_s(spec, self.cluster.machine(m)))
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            best
+        } else {
+            // Wider than any machine: the floor is a rack-local spill.
+            crate::ideal::ideal_multi_node_duration_s(spec)
+        }
+    }
+}
+
+/// Convenience: run one trace under one policy on a homogeneous cluster.
+///
+/// ```
+/// use gts_sim::engine::simulate;
+/// use gts_sched::{Policy, PolicyKind};
+/// use gts_perf::ProfileLibrary;
+/// use gts_topo::{power8_minsky, ClusterTopology};
+/// use gts_job::{BatchClass, JobSpec, NnModel};
+/// use std::sync::Arc;
+///
+/// let machine = power8_minsky();
+/// let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+/// let cluster = Arc::new(ClusterTopology::homogeneous(machine, 1));
+/// let job = JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, 2).with_iterations(10);
+/// let result = simulate(cluster, profiles, Policy::new(PolicyKind::TopoAwareP), vec![job]);
+/// assert_eq!(result.records.len(), 1);
+/// assert_eq!(result.slo_violations, 0);
+/// ```
+pub fn simulate(
+    cluster: Arc<ClusterTopology>,
+    profiles: Arc<ProfileLibrary>,
+    policy: Policy,
+    trace: Vec<JobSpec>,
+) -> SimResult {
+    Simulation::new(cluster, profiles, SimConfig::new(policy)).run(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_job::{BatchClass, NnModel};
+    use gts_sched::PolicyKind;
+    use gts_topo::power8_minsky;
+
+    fn setup(n_machines: usize) -> (Arc<ClusterTopology>, Arc<ProfileLibrary>) {
+        let machine = power8_minsky();
+        let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+        let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+        (cluster, profiles)
+    }
+
+    fn job(id: u64, gpus: u32, batch: BatchClass, arrival: f64, iters: u32) -> JobSpec {
+        JobSpec::new(id, NnModel::AlexNet, batch, gpus)
+            .arriving_at(arrival)
+            .with_iterations(iters)
+            .with_min_utility(if gpus > 1 { 0.5 } else { 0.3 })
+    }
+
+    #[test]
+    fn single_job_runs_at_ideal_speed() {
+        let (c, p) = setup(1);
+        let trace = vec![job(0, 2, BatchClass::Tiny, 0.0, 100)];
+        let res = simulate(c, p, Policy::new(PolicyKind::TopoAware), trace);
+        assert_eq!(res.records.len(), 1);
+        let r = &res.records[0];
+        assert!(r.qos_slowdown() < 1e-9, "got {}", r.qos_slowdown());
+        assert_eq!(r.waiting_s(), 0.0);
+        assert_eq!(res.slo_violations, 0);
+        assert!(res.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn two_collocated_tiny_jobs_suffer_the_fig6_slowdown() {
+        let (c, p) = setup(1);
+        // Two 2-GPU tiny jobs on one machine: each packs a socket, they
+        // interfere at the machine level (0.35 × 30 %).
+        let trace = vec![
+            job(0, 2, BatchClass::Tiny, 0.0, 400),
+            job(1, 2, BatchClass::Tiny, 0.0, 400),
+        ];
+        let res = simulate(c, p, Policy::new(PolicyKind::TopoAware), trace);
+        assert_eq!(res.records.len(), 2);
+        for r in &res.records {
+            let s = r.qos_slowdown();
+            assert!((s - 0.105).abs() < 0.02, "expected ≈10.5 %, got {s}");
+        }
+    }
+
+    #[test]
+    fn sequential_jobs_do_not_interfere() {
+        let (c, p) = setup(1);
+        let trace = vec![
+            job(0, 4, BatchClass::Tiny, 0.0, 50),
+            job(1, 4, BatchClass::Tiny, 1e6, 50),
+        ];
+        let res = simulate(c, p, Policy::new(PolicyKind::TopoAware), trace);
+        for r in &res.records {
+            assert!(r.qos_slowdown() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn queued_job_waits_for_capacity() {
+        let (c, p) = setup(1);
+        let trace = vec![
+            job(0, 4, BatchClass::Big, 0.0, 20),
+            job(1, 4, BatchClass::Big, 1.0, 20),
+        ];
+        let res = simulate(c, p, Policy::new(PolicyKind::Fcfs), trace);
+        let r0 = res.record(gts_job::JobId(0)).unwrap();
+        let r1 = res.record(gts_job::JobId(1)).unwrap();
+        assert_eq!(r0.waiting_s(), 0.0);
+        assert!(r1.waiting_s() > 0.0);
+        assert!((r1.placed_at_s - r0.finished_at_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oversized_jobs_are_reported_unplaceable() {
+        let (c, p) = setup(2);
+        let trace = vec![
+            job(0, 8, BatchClass::Tiny, 0.0, 10), // no machine has 8 GPUs
+            job(1, 1, BatchClass::Tiny, 0.0, 10),
+        ];
+        let res = simulate(c, p, Policy::new(PolicyKind::TopoAware), trace);
+        assert_eq!(res.unplaceable.len(), 1);
+        assert_eq!(res.unplaceable[0].id, gts_job::JobId(0));
+        assert_eq!(res.records.len(), 1);
+    }
+
+    #[test]
+    fn timeline_matches_records() {
+        let (c, p) = setup(1);
+        let trace = vec![
+            job(0, 2, BatchClass::Small, 0.0, 100),
+            job(1, 2, BatchClass::Small, 5.0, 100),
+        ];
+        let res = simulate(c, p, Policy::new(PolicyKind::TopoAware), trace);
+        assert_eq!(res.timeline.len(), 2);
+        for seg in &res.timeline {
+            let r = res.record(seg.job).unwrap();
+            assert_eq!(seg.start_s, r.placed_at_s);
+            assert_eq!(seg.end_s, r.finished_at_s);
+            assert_eq!(seg.gpus, r.gpus);
+        }
+    }
+
+    #[test]
+    fn utility_series_is_time_ordered() {
+        let (c, p) = setup(1);
+        let trace: Vec<JobSpec> = (0..6)
+            .map(|i| job(i, 1 + (i % 2) as u32, BatchClass::Small, i as f64 * 3.0, 100))
+            .collect();
+        let res = simulate(c, p, Policy::new(PolicyKind::TopoAwareP), trace);
+        for w in res.utility_series.windows(2) {
+            assert!(w[0].t_s <= w[1].t_s + 1e-9);
+        }
+        assert!(!res.utility_series.is_empty());
+        for s in &res.utility_series {
+            assert!((0.0..=1.0 + 1e-9).contains(&s.mean_utility));
+        }
+    }
+
+    #[test]
+    fn topo_aware_p_beats_fcfs_on_the_fragmentation_trap() {
+        // The Fig. 8 situation in miniature: two 1-GPU jobs land on
+        // different sockets; a 2-GPU tiny job arrives while they run. FCFS
+        // spreads it across sockets; TOPO-AWARE-P waits for a free pair.
+        let (c, p) = setup(1);
+        let trace = vec![
+            job(0, 1, BatchClass::Tiny, 0.0, 1200),
+            job(1, 1, BatchClass::Tiny, 1.0, 2400),
+            job(2, 2, BatchClass::Tiny, 2.0, 800),
+        ];
+        let fcfs = simulate(
+            Arc::clone(&c),
+            Arc::clone(&p),
+            Policy::new(PolicyKind::Fcfs),
+            trace.clone(),
+        );
+        let tap = simulate(c, p, Policy::new(PolicyKind::TopoAwareP), trace);
+
+        let fcfs_j2 = fcfs.record(gts_job::JobId(2)).unwrap();
+        let tap_j2 = tap.record(gts_job::JobId(2)).unwrap();
+        // FCFS executes J2 spread (slow); TOPO-AWARE-P packs it (fast).
+        assert!(
+            tap_j2.execution_s() < fcfs_j2.execution_s(),
+            "TAP exec {} !< FCFS exec {}",
+            tap_j2.execution_s(),
+            fcfs_j2.execution_s()
+        );
+        assert_eq!(tap.slo_violations, 0);
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_policy() {
+        let (c, p) = setup(2);
+        let trace: Vec<JobSpec> = (0..20)
+            .map(|i| {
+                job(
+                    i,
+                    [1u32, 2, 2, 4][(i % 4) as usize],
+                    BatchClass::ALL[(i % 4) as usize],
+                    i as f64 * 4.0,
+                    150,
+                )
+            })
+            .collect();
+        for kind in PolicyKind::ALL {
+            let res = simulate(
+                Arc::clone(&c),
+                Arc::clone(&p),
+                Policy::new(kind),
+                trace.clone(),
+            );
+            assert_eq!(res.records.len(), 20, "{kind} lost jobs");
+            assert!(res.unplaceable.is_empty(), "{kind}");
+            // GPUs are never double-booked: check overlapping segments.
+            for (i, a) in res.timeline.iter().enumerate() {
+                for b in &res.timeline[i + 1..] {
+                    let overlap = a.start_s < b.end_s - 1e-9 && b.start_s < a.end_s - 1e-9;
+                    if overlap {
+                        for g in &a.gpus {
+                            assert!(
+                                !b.gpus.contains(g),
+                                "{kind}: {g} double-booked by {} and {}",
+                                a.job,
+                                b.job
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

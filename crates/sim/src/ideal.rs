@@ -1,0 +1,167 @@
+//! The ideal-execution baseline.
+//!
+//! Fig. 8(e)/(f) measure each job's slowdown "in comparison with the ideal
+//! scenario, where the job has the fastest execution time": the job alone
+//! on an empty machine with the best possible GPU subset. We brute-force
+//! that subset (machines carry at most a dozen GPUs) and evaluate the solo
+//! iteration time on it.
+
+use gts_job::JobSpec;
+use gts_perf::PlacementPerf;
+use gts_topo::{GpuId, MachineTopology};
+
+/// The minimum-communication-cost GPU subset of size `n` on an empty
+/// machine.
+pub fn best_subset(topo: &MachineTopology, n: usize) -> Vec<GpuId> {
+    let gpus: Vec<GpuId> = topo.gpus().collect();
+    assert!(
+        n >= 1 && n <= gpus.len(),
+        "cannot pick {n} GPUs from a {}-GPU machine",
+        gpus.len()
+    );
+    if n == 1 {
+        return vec![gpus[0]];
+    }
+    let mut best: Option<(f64, Vec<GpuId>)> = None;
+    let mut idx: Vec<usize> = (0..n).collect();
+    loop {
+        let subset: Vec<GpuId> = idx.iter().map(|&i| gpus[i]).collect();
+        let cost = topo.pairwise_cost(&subset);
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, subset));
+        }
+        // Next combination.
+        let mut i = n;
+        let advanced = loop {
+            if i == 0 {
+                break false;
+            }
+            i -= 1;
+            if idx[i] != i + gpus.len() - n {
+                idx[i] += 1;
+                for j in (i + 1)..n {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break true;
+            }
+        };
+        if !advanced {
+            return best.expect("at least one subset was evaluated").1;
+        }
+    }
+}
+
+/// Ideal solo duration of a job *wider than any machine*: the best spill is
+/// rack-local, so the gradient exchange runs at the full top-of-rack line
+/// rate (the placement-independent floor for multi-node jobs).
+pub fn ideal_multi_node_duration_s(spec: &JobSpec) -> f64 {
+    use gts_perf::{IterTime, RouteClass};
+    let comm = gts_perf::comm::comm_time_s(
+        spec.model,
+        spec.n_gpus,
+        RouteClass::HostRouted,
+        gts_topo::LinkKind::Network.peak_bandwidth_gbs(),
+    );
+    let iter = IterTime {
+        compute_s: gts_perf::compute_time_s(spec.model, spec.batch.representative_batch()),
+        comm_s: comm,
+    };
+    f64::from(spec.iterations) * iter.total_s()
+}
+
+/// Solo duration of `spec` under its ideal placement on `topo`, seconds.
+///
+/// Jobs with an explicit communication graph additionally get the best task
+/// permutation over the chosen subset (orientation matters for a pipeline).
+pub fn ideal_duration_s(spec: &JobSpec, topo: &MachineTopology) -> f64 {
+    let subset = best_subset(topo, spec.n_gpus as usize);
+    let batch = spec.batch.representative_batch();
+    let iter_total = match &spec.comm_graph {
+        Some(graph) if subset.len() <= 6 => {
+            let mut best = f64::INFINITY;
+            permute(subset.clone(), &mut |perm| {
+                let it = gts_perf::placement::graph_iter_time(
+                    topo, spec.model, batch, graph, perm,
+                );
+                best = best.min(it.total_s());
+            });
+            best
+        }
+        Some(graph) => {
+            gts_perf::placement::graph_iter_time(topo, spec.model, batch, graph, &subset)
+                .total_s()
+        }
+        None => PlacementPerf::evaluate(topo, &subset)
+            .iter_time(spec.model, batch)
+            .total_s(),
+    };
+    f64::from(spec.iterations) * iter_total
+}
+
+/// Heap's algorithm: calls `visit` on every permutation of `items`.
+fn permute(mut items: Vec<GpuId>, visit: &mut dyn FnMut(&[GpuId])) {
+    let n = items.len();
+    let mut c = vec![0usize; n];
+    visit(&items);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                items.swap(0, i);
+            } else {
+                items.swap(c[i], i);
+            }
+            visit(&items);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_job::{BatchClass, NnModel};
+    use gts_topo::power8_minsky;
+
+    #[test]
+    fn best_subset_is_the_nvlink_pair() {
+        let m = power8_minsky();
+        let s = best_subset(&m, 2);
+        assert!(m.is_packed(&s), "got {s:?}");
+        assert_eq!(m.pairwise_cost(&s), 1.0);
+    }
+
+    #[test]
+    fn best_subset_of_four_is_everything() {
+        let m = power8_minsky();
+        assert_eq!(best_subset(&m, 4).len(), 4);
+    }
+
+    #[test]
+    fn ideal_duration_beats_spread_duration() {
+        let m = power8_minsky();
+        let spec = JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, 2).with_iterations(100);
+        let ideal = ideal_duration_s(&spec, &m);
+        let spread = gts_perf::placement::job_duration_s(&spec, &m, &[GpuId(0), GpuId(2)]);
+        assert!(ideal < spread);
+    }
+
+    #[test]
+    fn single_gpu_ideal_is_pure_compute() {
+        let m = power8_minsky();
+        let spec = JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, 1).with_iterations(100);
+        let d = ideal_duration_s(&spec, &m);
+        let expected = 100.0 * gts_perf::compute_time_s(NnModel::AlexNet, 1);
+        assert!((d - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn oversized_request_panics() {
+        best_subset(&power8_minsky(), 5);
+    }
+}

@@ -1,0 +1,214 @@
+//! Running-job state and interference-coupled progress.
+//!
+//! A placed job carries a stock of *work* — its solo duration under the
+//! placement it received — and burns it down at rate `1/(1+slowdown)`,
+//! where the slowdown is the Fig. 6 aggregate over its current co-runners.
+//! The engine calls [`RunningJob::advance`] to integrate progress between
+//! events and re-derives rates whenever the running set changes.
+
+use gts_perf::{total_slowdown, IterTime, PlacementPerf};
+use gts_sched::Allocation;
+use gts_topo::ClusterTopology;
+
+/// One placed, in-flight job.
+#[derive(Debug, Clone)]
+pub struct RunningJob {
+    /// The allocation the scheduler granted.
+    pub alloc: Allocation,
+    /// Wall-clock time the job started executing.
+    pub started_at: f64,
+    /// Solo per-iteration profile under this placement.
+    pub iter: IterTime,
+    /// Remaining work, in solo-execution seconds.
+    pub remaining_solo_s: f64,
+    /// Current interference slowdown (0 = solo speed).
+    pub slowdown: f64,
+}
+
+impl RunningJob {
+    /// Creates the running state for a fresh placement. Jobs with an
+    /// explicit communication graph (model parallelism) are costed per edge
+    /// over their actual routes; data-parallel jobs use the ring model.
+    pub fn start(alloc: Allocation, cluster: &ClusterTopology, now: f64) -> Self {
+        let iter = match (&alloc.spec.comm_graph, alloc.is_single_node()) {
+            (Some(graph), true) => {
+                let machine = alloc.gpus[0].machine;
+                let local: Vec<_> = alloc.gpus.iter().map(|g| g.gpu).collect();
+                gts_perf::placement::graph_iter_time(
+                    cluster.machine(machine),
+                    alloc.spec.model,
+                    alloc.spec.batch.representative_batch(),
+                    graph,
+                    &local,
+                )
+            }
+            _ => PlacementPerf::evaluate_cluster(cluster, &alloc.gpus)
+                .iter_time(alloc.spec.model, alloc.spec.batch.representative_batch()),
+        };
+        let remaining = f64::from(alloc.spec.iterations) * iter.total_s();
+        Self {
+            alloc,
+            started_at: now,
+            iter,
+            remaining_solo_s: remaining,
+            slowdown: 0.0,
+        }
+    }
+
+    /// Current progress rate in solo-seconds per wall-second.
+    pub fn rate(&self) -> f64 {
+        1.0 / (1.0 + self.slowdown)
+    }
+
+    /// Wall-clock seconds until completion at the current rate.
+    pub fn eta_s(&self) -> f64 {
+        self.remaining_solo_s / self.rate()
+    }
+
+    /// Integrates progress over `dt` wall-clock seconds.
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= -1e-9, "time cannot run backwards: {dt}");
+        self.remaining_solo_s = (self.remaining_solo_s - dt.max(0.0) * self.rate()).max(0.0);
+    }
+
+    /// True once all work is done.
+    pub fn finished(&self) -> bool {
+        self.remaining_solo_s <= 1e-9
+    }
+}
+
+/// Re-derives the slowdown of `victim` given every other running job.
+///
+/// Two jobs interfere through each machine they share; the strongest shared
+/// bus domain wins (a pair sharing both a socket and the machine bus is
+/// dominated by the socket coupling).
+pub fn current_slowdown(
+    victim: &RunningJob,
+    others: &[&RunningJob],
+    cluster: &ClusterTopology,
+) -> f64 {
+    let spec = &victim.alloc.spec;
+    let corunners: Vec<_> = others
+        .iter()
+        .filter(|o| o.alloc.spec.id != spec.id)
+        .filter_map(|o| {
+            let factor = max_domain_factor(victim, o, cluster);
+            (factor > 0.0).then_some((o.alloc.spec.model, o.alloc.spec.batch, factor))
+        })
+        .collect();
+    total_slowdown((spec.model, spec.batch), &corunners)
+}
+
+/// Strongest bus-domain coupling between two allocations across all
+/// machines they share.
+fn max_domain_factor(a: &RunningJob, b: &RunningJob, cluster: &ClusterTopology) -> f64 {
+    let mut factor: f64 = 0.0;
+    for machine in a.alloc.machines() {
+        let ga = a.alloc.gpus_on(machine);
+        let gb = b.alloc.gpus_on(machine);
+        if ga.is_empty() || gb.is_empty() {
+            continue;
+        }
+        factor = factor.max(gts_perf::domain_factor(cluster.machine(machine), &ga, &gb));
+    }
+    factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_job::{BatchClass, JobSpec, NnModel};
+    use gts_topo::{power8_minsky, GlobalGpuId, GpuId, MachineId};
+    use std::sync::Arc;
+
+    fn cluster() -> Arc<ClusterTopology> {
+        Arc::new(ClusterTopology::homogeneous(power8_minsky(), 2))
+    }
+
+    fn alloc(id: u64, machine: u32, gpus: &[u32], batch: BatchClass) -> Allocation {
+        Allocation {
+            spec: JobSpec::new(id, NnModel::AlexNet, batch, gpus.len() as u32)
+                .with_iterations(100),
+            gpus: gpus
+                .iter()
+                .map(|&g| GlobalGpuId { machine: MachineId(machine), gpu: GpuId(g) })
+                .collect(),
+            utility: 1.0,
+        }
+    }
+
+    #[test]
+    fn solo_job_runs_at_full_rate() {
+        let c = cluster();
+        let r = RunningJob::start(alloc(0, 0, &[0, 1], BatchClass::Tiny), &c, 0.0);
+        assert_eq!(r.rate(), 1.0);
+        assert!(!r.finished());
+        let expected = 100.0 * r.iter.total_s();
+        assert!((r.eta_s() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_burns_down_work_and_finishes() {
+        let c = cluster();
+        let mut r = RunningJob::start(alloc(0, 0, &[0], BatchClass::Tiny), &c, 0.0);
+        let total = r.remaining_solo_s;
+        r.advance(total / 2.0);
+        assert!((r.remaining_solo_s - total / 2.0).abs() < 1e-9);
+        r.advance(total);
+        assert!(r.finished());
+        assert_eq!(r.remaining_solo_s, 0.0);
+    }
+
+    #[test]
+    fn slowdown_stretches_eta() {
+        let c = cluster();
+        let mut r = RunningJob::start(alloc(0, 0, &[0, 1], BatchClass::Tiny), &c, 0.0);
+        let solo_eta = r.eta_s();
+        r.slowdown = 0.30;
+        assert!((r.eta_s() - solo_eta * 1.3).abs() < 1e-9);
+        assert!((r.rate() - 1.0 / 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig6_two_tiny_jobs_same_machine_slow_each_other_30_percent() {
+        let c = cluster();
+        let a = RunningJob::start(alloc(0, 0, &[0, 1], BatchClass::Tiny), &c, 0.0);
+        let b = RunningJob::start(alloc(1, 0, &[2, 3], BatchClass::Tiny), &c, 0.0);
+        // Packed on different sockets: the machine-level factor 0.35 scales
+        // the 30 % same-socket anchor.
+        let s = current_slowdown(&a, &[&b], &c);
+        assert!((s - 0.30 * 0.35).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn same_socket_neighbors_interfere_fully() {
+        let c = cluster();
+        let a = RunningJob::start(alloc(0, 0, &[0], BatchClass::Tiny), &c, 0.0);
+        let b = RunningJob::start(alloc(1, 0, &[1], BatchClass::Tiny), &c, 0.0);
+        let s = current_slowdown(&a, &[&b], &c);
+        assert!((s - 0.30).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn different_machines_do_not_interfere() {
+        let c = cluster();
+        let a = RunningJob::start(alloc(0, 0, &[0, 1], BatchClass::Tiny), &c, 0.0);
+        let b = RunningJob::start(alloc(1, 1, &[0, 1], BatchClass::Tiny), &c, 0.0);
+        assert_eq!(current_slowdown(&a, &[&b], &c), 0.0);
+    }
+
+    #[test]
+    fn victim_is_excluded_from_its_own_corunners() {
+        let c = cluster();
+        let a = RunningJob::start(alloc(0, 0, &[0, 1], BatchClass::Tiny), &c, 0.0);
+        assert_eq!(current_slowdown(&a, &[&a], &c), 0.0);
+    }
+
+    #[test]
+    fn big_batch_neighbor_barely_hurts_big_batch_victim() {
+        let c = cluster();
+        let a = RunningJob::start(alloc(0, 0, &[0], BatchClass::Big), &c, 0.0);
+        let b = RunningJob::start(alloc(1, 0, &[1], BatchClass::Big), &c, 0.0);
+        assert!(current_slowdown(&a, &[&b], &c) < 0.02);
+    }
+}

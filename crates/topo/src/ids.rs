@@ -1,0 +1,104 @@
+//! Strongly-typed identifiers for topology entities.
+//!
+//! The scheduler juggles three distinct id spaces (GPUs within a machine,
+//! sockets within a machine, machines within a cluster); newtypes prevent
+//! mixing them up at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A GPU within a single machine (`GPU0`..`GPU7` in the paper's figures).
+    GpuId,
+    "GPU"
+);
+
+id_newtype!(
+    /// A CPU socket within a single machine (`S0`, `S1` in Fig. 7).
+    SocketId,
+    "S"
+);
+
+id_newtype!(
+    /// A machine within a cluster (`M1`, `M2` in Fig. 7).
+    MachineId,
+    "M"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(GpuId(3).to_string(), "GPU3");
+        assert_eq!(SocketId(1).to_string(), "S1");
+        assert_eq!(MachineId(42).to_string(), "M42");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let g: GpuId = 7usize.into();
+        assert_eq!(g.index(), 7);
+        let s: SocketId = 2u32.into();
+        assert_eq!(s, SocketId(2));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(GpuId(0));
+        set.insert(GpuId(0));
+        set.insert(GpuId(1));
+        assert_eq!(set.len(), 2);
+        assert!(GpuId(0) < GpuId(1));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&GpuId(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: GpuId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, GpuId(5));
+    }
+}

@@ -1,0 +1,149 @@
+//! Physical interconnect link types and their characteristics.
+//!
+//! The paper's testbed (§3.1) exposes three classes of links: NVIDIA NVLink
+//! (NVHS, 20 GB/s unidirectional per lane, bondable into multi-lane bricks),
+//! PCI-Express gen3 x16 (≈16 GB/s unidirectional) and the inter-socket system
+//! bus (X-Bus on Power8, QPI on x86). Clusters add a network level.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of physical link an edge in the topology graph represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// NVLink brick with the given number of bonded lanes (Power8 Minsky uses
+    /// dual-lane bricks: 2 × 20 GB/s = 40 GB/s unidirectional; DGX-1 cube
+    /// edges are single-lane).
+    NvLink {
+        /// Number of bonded NVLink lanes (1 or 2 on the paper's systems).
+        lanes: u8,
+    },
+    /// PCI-Express link of a given generation, x16 width assumed.
+    PciE {
+        /// PCIe generation (gen 3 on all of the paper's systems).
+        gen: u8,
+    },
+    /// The inter-socket system bus (X-Bus on Power8, QPI on Intel).
+    InterSocket,
+    /// The data-center network connecting machines (cluster level).
+    Network,
+    /// Logical containment edge that carries no data traffic by itself
+    /// (e.g. machine → socket in the multi-level graph). Distance-only.
+    Containment,
+}
+
+impl LinkKind {
+    /// Unidirectional peak bandwidth in GB/s, as reported in §1 and §3.1.
+    ///
+    /// `Containment` edges are modeled with the bandwidth of the level they
+    /// bridge being accounted on the real links; we give them `f64::INFINITY`
+    /// so they never become the bottleneck of a path.
+    pub fn peak_bandwidth_gbs(self) -> f64 {
+        match self {
+            LinkKind::NvLink { lanes } => 20.0 * f64::from(lanes),
+            LinkKind::PciE { gen } => match gen {
+                1 => 4.0,
+                2 => 8.0,
+                _ => 16.0,
+            },
+            // Power8 X-Bus: ~38.4 GB/s raw but heavily shared; the paper
+            // treats cross-socket hops as the slow path. We use an effective
+            // figure of 32 GB/s peak (contention handled by the perf model).
+            LinkKind::InterSocket => 32.0,
+            // 10 GbE-class fabric ≈ 1.25 GB/s; clusters in the paper never
+            // span a job across machines unless the job opts in.
+            LinkKind::Network => 1.25,
+            LinkKind::Containment => f64::INFINITY,
+        }
+    }
+
+    /// Whether traffic between two GPUs routed over this link must bounce
+    /// through host memory (i.e. breaks direct P2P). True for the
+    /// inter-socket bus and the network.
+    pub fn breaks_p2p(self) -> bool {
+        matches!(self, LinkKind::InterSocket | LinkKind::Network)
+    }
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::NvLink { lanes } => write!(f, "NVLink x{lanes}"),
+            LinkKind::PciE { gen } => write!(f, "PCIe gen{gen} x16"),
+            LinkKind::InterSocket => write!(f, "inter-socket bus"),
+            LinkKind::Network => write!(f, "network"),
+            LinkKind::Containment => write!(f, "containment"),
+        }
+    }
+}
+
+/// Qualitative level weights for the multi-level physical graph (Fig. 7).
+///
+/// "Since the distances are qualitative, there are no constraints on how the
+/// weights are defined, except that higher levels will have larger weights."
+/// These constants mirror the figure: GPU-adjacent edges weigh 1, switch
+/// edges 10, socket edges 20, machine edges 40 and the network edge 100.
+pub mod level_weight {
+    /// Weight of edges incident to the GPU level (GPU↔GPU NVLink, GPU↔switch,
+    /// GPU↔socket attachment).
+    pub const GPU: f64 = 1.0;
+    /// Weight of edges between a switch and the socket above it.
+    pub const SWITCH: f64 = 10.0;
+    /// Weight of edges between sockets and the machine vertex (and the
+    /// socket↔socket bus).
+    pub const SOCKET: f64 = 20.0;
+    /// Weight of edges between machine vertices and the network vertex.
+    pub const MACHINE: f64 = 40.0;
+    /// Weight of the network level itself (crossing the top-of-rack
+    /// fabric).
+    pub const NETWORK: f64 = 100.0;
+    /// Weight of crossing the aggregation layer between racks.
+    pub const AGGREGATION: f64 = 200.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_bandwidth_scales_with_lanes() {
+        assert_eq!(LinkKind::NvLink { lanes: 1 }.peak_bandwidth_gbs(), 20.0);
+        assert_eq!(LinkKind::NvLink { lanes: 2 }.peak_bandwidth_gbs(), 40.0);
+    }
+
+    #[test]
+    fn pcie_gen3_matches_paper_figure() {
+        assert_eq!(LinkKind::PciE { gen: 3 }.peak_bandwidth_gbs(), 16.0);
+        assert_eq!(LinkKind::PciE { gen: 2 }.peak_bandwidth_gbs(), 8.0);
+        assert_eq!(LinkKind::PciE { gen: 1 }.peak_bandwidth_gbs(), 4.0);
+    }
+
+    #[test]
+    fn p2p_break_classification() {
+        assert!(LinkKind::InterSocket.breaks_p2p());
+        assert!(LinkKind::Network.breaks_p2p());
+        assert!(!LinkKind::NvLink { lanes: 2 }.breaks_p2p());
+        assert!(!LinkKind::PciE { gen: 3 }.breaks_p2p());
+        assert!(!LinkKind::Containment.breaks_p2p());
+    }
+
+    #[test]
+    fn containment_never_bottlenecks() {
+        assert!(LinkKind::Containment.peak_bandwidth_gbs().is_infinite());
+    }
+
+    #[test]
+    fn level_weights_strictly_increase_with_level() {
+        use level_weight::*;
+        let ladder = [GPU, SWITCH, SOCKET, MACHINE, NETWORK];
+        for w in ladder.windows(2) {
+            assert!(w[0] < w[1], "level weights must increase: {ladder:?}");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LinkKind::NvLink { lanes: 2 }.to_string(), "NVLink x2");
+        assert_eq!(LinkKind::PciE { gen: 3 }.to_string(), "PCIe gen3 x16");
+    }
+}

@@ -1,0 +1,111 @@
+//! Typed vertices of the multi-level physical topology graph.
+
+use crate::ids::{GpuId, MachineId, SocketId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The role a vertex plays in the multi-level graph of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The cluster network root (level 0).
+    Network,
+    /// A machine vertex (`M{X}` in the paper's notation).
+    Machine(MachineId),
+    /// A CPU socket vertex (`S{Y}`).
+    Socket(SocketId),
+    /// An intermediate PCIe or NVLink switch below a socket.
+    Switch {
+        /// The socket this switch hangs off.
+        socket: SocketId,
+        /// Index of the switch within its socket.
+        index: u32,
+    },
+    /// A GPU leaf vertex (`GPU{Z}`).
+    Gpu(GpuId),
+}
+
+impl NodeKind {
+    /// True for GPU leaves; the mapping algorithm only ever assigns tasks to
+    /// these.
+    #[inline]
+    pub fn is_gpu(self) -> bool {
+        matches!(self, NodeKind::Gpu(_))
+    }
+
+    /// The GPU id if this is a GPU vertex.
+    #[inline]
+    pub fn as_gpu(self) -> Option<GpuId> {
+        match self {
+            NodeKind::Gpu(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Numeric level in the hierarchy: network 0, machine 1, socket 2,
+    /// switch 3, GPU 4. Used to sanity-check that edge weights grow with
+    /// proximity to the root.
+    pub fn level(self) -> u8 {
+        match self {
+            NodeKind::Network => 0,
+            NodeKind::Machine(_) => 1,
+            NodeKind::Socket(_) => 2,
+            NodeKind::Switch { .. } => 3,
+            NodeKind::Gpu(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Network => write!(f, "Net"),
+            NodeKind::Machine(m) => write!(f, "{m}"),
+            NodeKind::Socket(s) => write!(f, "{s}"),
+            NodeKind::Switch { socket, index } => write!(f, "{socket}.SW{index}"),
+            NodeKind::Gpu(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_detection() {
+        assert!(NodeKind::Gpu(GpuId(0)).is_gpu());
+        assert!(!NodeKind::Socket(SocketId(0)).is_gpu());
+        assert_eq!(NodeKind::Gpu(GpuId(3)).as_gpu(), Some(GpuId(3)));
+        assert_eq!(NodeKind::Network.as_gpu(), None);
+    }
+
+    #[test]
+    fn levels_follow_figure_seven() {
+        assert_eq!(NodeKind::Network.level(), 0);
+        assert_eq!(NodeKind::Machine(MachineId(0)).level(), 1);
+        assert_eq!(NodeKind::Socket(SocketId(0)).level(), 2);
+        assert_eq!(
+            NodeKind::Switch {
+                socket: SocketId(0),
+                index: 0
+            }
+            .level(),
+            3
+        );
+        assert_eq!(NodeKind::Gpu(GpuId(0)).level(), 4);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(NodeKind::Network.to_string(), "Net");
+        assert_eq!(NodeKind::Machine(MachineId(1)).to_string(), "M1");
+        assert_eq!(
+            NodeKind::Switch {
+                socket: SocketId(1),
+                index: 0
+            }
+            .to_string(),
+            "S1.SW0"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Cloud-scale scheduling: generate a Poisson workload (§5.3), run it
+//! through all four policies on a 5-machine cluster and compare — the
+//! Fig. 10 experiment as a library consumer would write it.
+//!
+//! ```text
+//! cargo run --example cloud_scheduler [-- <n_jobs> <n_machines> <seed>]
+//! ```
+
+use gpu_topo_aware::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_jobs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let n_machines: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1001);
+
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+
+    // λ = 10 jobs/minute; Binomial(3, ½) batch classes, Binomial(2, ½)
+    // network types — the paper's generator configuration.
+    let trace = WorkloadGenerator::with_defaults(seed).generate(n_jobs);
+    println!(
+        "workload: {n_jobs} jobs over {:.1} min on {n_machines} machines ({} GPUs)\n",
+        trace.last().map(|j| j.arrival_s / 60.0).unwrap_or(0.0),
+        cluster.n_gpus()
+    );
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>11} {:>10} {:>14}",
+        "policy", "makespan(s)", "mean wait(s)", "mean QoS", "SLO viol.", "decision(µs)"
+    );
+    for kind in PolicyKind::ALL {
+        let res = simulate(
+            Arc::clone(&cluster),
+            Arc::clone(&profiles),
+            Policy::new(kind),
+            trace.clone(),
+        );
+        println!(
+            "{:<14} {:>12.0} {:>12.1} {:>11.3} {:>10} {:>14.1}",
+            kind.to_string(),
+            res.makespan_s,
+            res.mean_waiting_s(),
+            res.mean_qos_slowdown(),
+            res.slo_violations,
+            res.mean_decision_s * 1e6,
+        );
+    }
+
+    // Drill into the worst-served jobs under FCFS vs TOPO-AWARE-P.
+    println!("\nworst five jobs by slowdown (QoS + waiting):");
+    for kind in [PolicyKind::Fcfs, PolicyKind::TopoAwareP] {
+        let res = simulate(
+            Arc::clone(&cluster),
+            Arc::clone(&profiles),
+            Policy::new(kind),
+            trace.clone(),
+        );
+        let worst: Vec<String> = res
+            .qos_wait_slowdowns_sorted()
+            .into_iter()
+            .take(5)
+            .map(|(id, s)| format!("{id}:{s:.2}"))
+            .collect();
+        println!("  {:<14} {}", kind.to_string(), worst.join("  "));
+    }
+}

@@ -1,0 +1,68 @@
+//! The full §5.1 operations loop: discover the topology from
+//! `nvidia-smi topo --matrix` and `numactl --hardware` output, schedule a
+//! job on the discovered machine, and emit the exact launch command the
+//! prototype would exec (`CUDA_DEVICE_ORDER`, `CUDA_VISIBLE_DEVICES`,
+//! `numactl` binding).
+//!
+//! ```text
+//! cargo run --example discovery_to_launch
+//! ```
+
+use gpu_topo_aware::prelude::*;
+use std::sync::Arc;
+
+const NVIDIA_SMI_TOPO: &str = "\
+        GPU0    GPU1    GPU2    GPU3    CPU Affinity
+GPU0     X      NV2     SYS     SYS     0-7
+GPU1    NV2      X      SYS     SYS     0-7
+GPU2    SYS     SYS      X      NV2     8-15
+GPU3    SYS     SYS     NV2      X      8-15
+";
+
+const NUMACTL_HARDWARE: &str = "\
+available: 2 nodes (0-1)
+node 0 cpus: 0 1 2 3 4 5 6 7
+node 0 size: 261788 MB
+node 1 cpus: 8 9 10 11 12 13 14 15
+node 1 size: 261788 MB
+node distances:
+node   0   1
+  0:  10  40
+  1:  40  10
+";
+
+fn main() {
+    // 1. Discovery, exactly as the paper's startup sequence does it.
+    let machine = parse_topo_matrix(NVIDIA_SMI_TOPO).expect("valid nvidia-smi output");
+    let numa = NumaInfo::parse(NUMACTL_HARDWARE).expect("valid numactl output");
+    println!(
+        "discovered: {} GPUs on {} sockets; NUMA remote distance {}",
+        machine.n_gpus(),
+        machine.n_sockets(),
+        numa.distance(0, 1)
+    );
+
+    // 2. Schedule against the discovered machine.
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, 1));
+    let mut state = ClusterState::new(cluster, profiles);
+    let policy = Policy::new(PolicyKind::TopoAwareP);
+
+    for (id, n_gpus) in [(0u64, 2u32), (1, 1)] {
+        let job = JobSpec::new(id, NnModel::AlexNet, BatchClass::Tiny, n_gpus)
+            .with_min_utility(if n_gpus > 1 { 0.5 } else { 0.3 });
+        let d = policy.decide(&state, &job).expect("machine has room");
+        state.place(job, d.gpus, d.utility);
+
+        // 3. Enforcement: the launch recipe for the placed job.
+        let alloc = state.allocation(JobId(id)).expect("just placed").clone();
+        let topo = state.cluster().machine(MachineId(0));
+        let plan = launch_plan(&alloc, topo, Some(&numa));
+        println!(
+            "\njob J{id} → GPUs {:?} (utility {:.2})\n  $ {}",
+            alloc.gpus_on(MachineId(0)),
+            alloc.utility,
+            plan.command_line("caffe train --solver=alexnet_solver.prototxt")
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Run the Table 1 scenario through the *prototype* runtime: real threads,
+//! a scheduler daemon, per-job workers and a bandwidth monitor, compressed
+//! 500× in time (§5.1/§5.2 re-enacted).
+//!
+//! ```text
+//! cargo run --example prototype_run [-- <policy>]   # fcfs|bf|ta|tap
+//! ```
+
+use gpu_topo_aware::job::scenario::table1;
+use gpu_topo_aware::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("fcfs") => PolicyKind::Fcfs,
+        Some("bf") => PolicyKind::BestFit,
+        Some("ta") => PolicyKind::TopoAware,
+        _ => PolicyKind::TopoAwareP,
+    };
+
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, 1));
+
+    println!("running Table 1 under {kind} at 500× time compression...\n");
+    let proto = Prototype::new(
+        cluster,
+        profiles,
+        ProtoConfig::with_scale(Policy::new(kind), TimeScale::new(0.002)),
+    );
+    let res = proto.run(table1());
+
+    let mut records = res.records.clone();
+    records.sort_by_key(|r| r.spec.id);
+    println!(
+        "{:<5} {:>8} {:>9} {:>9} {:>9} {:>8} {:>6}",
+        "job", "arrive", "placed", "finished", "wait(s)", "slowdown", "SLO"
+    );
+    for r in &records {
+        println!(
+            "{:<5} {:>8.1} {:>9.1} {:>9.1} {:>9.1} {:>8.2} {:>6}",
+            r.spec.id.to_string(),
+            r.spec.arrival_s,
+            r.placed_at_s,
+            r.finished_at_s,
+            r.waiting_s(),
+            r.qos_slowdown(),
+            if r.slo_violated { "VIOL" } else { "ok" }
+        );
+    }
+    println!(
+        "\nmakespan {:.1}s, {} SLO violations",
+        res.makespan_s, res.slo_violations
+    );
+    println!(
+        "link monitor: peak P2P {:.1} GB/s, peak GPU-CPU-GPU {:.1} GB/s over {} samples",
+        res.peak_p2p_gbs(),
+        res.peak_host_gbs(),
+        res.bandwidth.len()
+    );
+}

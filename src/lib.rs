@@ -1,0 +1,5 @@
+//! Umbrella crate: re-exports the full `gts-core` public API.
+//!
+//! See `gts_core` for documentation; this package exists to host the
+//! workspace-level examples and integration tests.
+pub use gts_core::*;

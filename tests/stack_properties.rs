@@ -1,0 +1,86 @@
+//! Property-based invariants over the whole stack: random workloads, random
+//! cluster shapes, every policy.
+
+use gpu_topo_aware::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn simulate_random(
+    seed: u64,
+    n_jobs: usize,
+    n_machines: usize,
+    kind: PolicyKind,
+) -> SimResult {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+    let trace = WorkloadGenerator::with_defaults(seed).generate(n_jobs);
+    simulate(cluster, profiles, Policy::new(kind), trace)
+}
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop::sample::select(PolicyKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulation_conserves_jobs(seed in 0u64..1000, kind in any_policy()) {
+        let res = simulate_random(seed, 30, 2, kind);
+        prop_assert_eq!(res.records.len() + res.unplaceable.len(), 30);
+    }
+
+    #[test]
+    fn records_are_causally_ordered(seed in 0u64..1000, kind in any_policy()) {
+        let res = simulate_random(seed, 30, 2, kind);
+        for r in &res.records {
+            prop_assert!(r.placed_at_s + 1e-9 >= r.spec.arrival_s, "{} placed before arrival", r.spec.id);
+            prop_assert!(r.finished_at_s > r.placed_at_s, "{} finished before starting", r.spec.id);
+            // Execution can never beat the ideal placement.
+            prop_assert!(
+                r.execution_s() + 1e-6 >= r.ideal_duration_s,
+                "{}: executed {} < ideal {}",
+                r.spec.id, r.execution_s(), r.ideal_duration_s
+            );
+        }
+    }
+
+    #[test]
+    fn postponing_policy_never_violates(seed in 0u64..1000) {
+        let res = simulate_random(seed, 30, 2, PolicyKind::TopoAwareP);
+        prop_assert_eq!(res.slo_violations, 0);
+    }
+
+    #[test]
+    fn allocations_respect_request_size(seed in 0u64..1000, kind in any_policy()) {
+        let res = simulate_random(seed, 25, 3, kind);
+        for r in &res.records {
+            prop_assert_eq!(r.gpus.len(), r.spec.n_gpus as usize);
+            // All experiment jobs are single-node.
+            let machines: std::collections::HashSet<_> = r.gpus.iter().map(|g| g.machine).collect();
+            prop_assert_eq!(machines.len(), 1, "single-node constraint broken");
+            // No duplicate GPUs.
+            let mut gpus = r.gpus.clone();
+            gpus.sort();
+            gpus.dedup();
+            prop_assert_eq!(gpus.len(), r.spec.n_gpus as usize);
+        }
+    }
+
+    #[test]
+    fn makespan_bounds_every_completion(seed in 0u64..1000, kind in any_policy()) {
+        let res = simulate_random(seed, 20, 2, kind);
+        for r in &res.records {
+            prop_assert!(r.finished_at_s <= res.makespan_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn utilities_are_normalized(seed in 0u64..1000, kind in any_policy()) {
+        let res = simulate_random(seed, 20, 2, kind);
+        for r in &res.records {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.utility), "{}: {}", r.spec.id, r.utility);
+        }
+    }
+}
