@@ -105,12 +105,14 @@ pub struct SysConfig {
     pub machines: usize,
     /// Machine model.
     pub machine_kind: MachineKind,
-    /// Seed for the §5.1 profile-generation campaign.
-    #[serde(default = "default_profile_seed")]
-    pub profile_seed: u64,
-    /// Prototype time compression (wall seconds per simulated second).
-    #[serde(default = "default_time_scale")]
-    pub time_scale: f64,
+    /// Seed for the §5.1 profile-generation campaign; omitted → 42 (see
+    /// [`SysConfig::profile_seed`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile_seed: Option<u64>,
+    /// Prototype time compression (wall seconds per simulated second);
+    /// omitted → 0.002 (see [`SysConfig::time_scale`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub time_scale: Option<f64>,
     /// Optional rack count; when set, machines are split evenly into racks
     /// (top-of-rack vs aggregation network tiers).
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -128,23 +130,27 @@ pub struct SysConfig {
     pub workload: WorkloadSource,
 }
 
-fn default_profile_seed() -> u64 {
-    42
-}
-
-fn default_time_scale() -> f64 {
-    0.002
-}
-
 impl SysConfig {
+    /// The profile-campaign seed, with the documented default of 42 when
+    /// the config omits the field.
+    pub fn profile_seed(&self) -> u64 {
+        self.profile_seed.unwrap_or(42)
+    }
+
+    /// The prototype time compression, with the documented default of
+    /// 0.002 when the config omits the field.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale.unwrap_or(0.002)
+    }
+
     /// A ready-to-edit sample configuration.
     pub fn sample() -> Self {
         Self {
             simulation: true,
             machines: 1,
             machine_kind: MachineKind::Power8Minsky,
-            profile_seed: 42,
-            time_scale: 0.002,
+            profile_seed: Some(42),
+            time_scale: Some(0.002),
             racks: None,
             cancellations: Vec::new(),
             machine_failures: Vec::new(),
@@ -196,7 +202,7 @@ impl SysConfig {
             return Err(ConfigError::Invalid("no algorithms configured".into()));
         }
         let machine = self.machine_kind.build();
-        let profiles = Arc::new(ProfileLibrary::generate(&machine, self.profile_seed));
+        let profiles = Arc::new(ProfileLibrary::generate(&machine, self.profile_seed()));
         let cluster = match self.racks {
             Some(racks) => {
                 if racks == 0 || !self.machines.is_multiple_of(racks) {
@@ -244,7 +250,7 @@ impl SysConfig {
                 }
             } else {
                 let mut config =
-                    ProtoConfig::with_scale(policy, TimeScale::new(self.time_scale));
+                    ProtoConfig::with_scale(policy, TimeScale::new(self.time_scale()));
                 config.cancellations = self
                     .cancellations
                     .iter()
@@ -368,6 +374,31 @@ mod tests {
     }
 
     #[test]
+    fn omitted_seed_and_scale_fall_back_to_documented_defaults() {
+        // Regression: these used to parse as 0/0.0 (the derive treated
+        // `default = "path"` as plain `default`), which silently changed
+        // the profile campaign and would zero out the prototype clock.
+        let cfg_text = r#"{
+            "simulation": true,
+            "machines": 1,
+            "machine_kind": "power8-minsky",
+            "algorithms": [{"policy": "fcfs"}],
+            "workload": "table1"
+        }"#;
+        let cfg = SysConfig::from_json(cfg_text).unwrap();
+        assert_eq!(cfg.profile_seed(), 42);
+        assert!((cfg.time_scale() - 0.002).abs() < 1e-12);
+        // Explicit values still win.
+        let explicit = SysConfig::sample();
+        assert_eq!(explicit.profile_seed(), 42);
+        let mut cfg = cfg;
+        cfg.profile_seed = Some(7);
+        cfg.time_scale = Some(0.5);
+        assert_eq!(cfg.profile_seed(), 7);
+        assert!((cfg.time_scale() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn generated_workload_source() {
         let mut cfg = SysConfig::sample();
         cfg.machines = 2;
@@ -442,7 +473,7 @@ mod tests {
         // Prototype mode with a cancellation.
         let mut cfg = SysConfig::sample();
         cfg.simulation = false;
-        cfg.time_scale = 0.001;
+        cfg.time_scale = Some(0.001);
         cfg.cancellations = vec![(40.0, 0)];
         cfg.algorithms = vec![AlgoConfig { policy: "fcfs".into(), weights: None }];
         let reports = cfg.run().unwrap();
@@ -473,7 +504,7 @@ mod tests {
     fn prototype_mode_runs_through_the_daemon() {
         let mut cfg = SysConfig::sample();
         cfg.simulation = false;
-        cfg.time_scale = 0.001;
+        cfg.time_scale = Some(0.001);
         cfg.algorithms = vec![AlgoConfig { policy: "topo-aware-p".into(), weights: None }];
         let reports = cfg.run().unwrap();
         assert_eq!(reports[0].mode, "prototype");

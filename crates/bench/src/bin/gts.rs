@@ -5,19 +5,27 @@
 //! gts --sample-config > sys-config.json   # emit an editable sample
 //! gts sys-config.json                     # execute it
 //! gts sys-config.json --json              # machine-readable reports
+//! gts trace --seed 7 --policy topo-aware-p
+//!                                         # replay a seeded workload and
+//!                                         # print every placement decision
 //! ```
 
-use gts_bench::appendix::SysConfig;
+use gts_bench::appendix::{AlgoConfig, SysConfig};
 use gts_bench::table::f;
 use gts_bench::TextTable;
+use gts_core::prelude::*;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--sample-config") {
         println!("{}", SysConfig::sample().to_json());
         return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return run_trace(&args[1..]);
     }
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!("usage: gts <sys-config.json> [--json] | gts --sample-config");
@@ -75,4 +83,157 @@ fn main() -> ExitCode {
     }
     print!("{t}");
     ExitCode::SUCCESS
+}
+
+/// `gts trace`: replay a seeded workload with decision tracing on and
+/// pretty-print every Algorithm 1 decision with its Eq. 2 breakdown.
+fn run_trace(args: &[String]) -> ExitCode {
+    let mut seed = 42u64;
+    let mut jobs = 40usize;
+    let mut machines = 4usize;
+    let mut policy = "topo-aware-p".to_string();
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--seed" => value("--seed").and_then(|v| {
+                v.parse().map(|n| seed = n).map_err(|e| format!("--seed: {e}"))
+            }),
+            "--jobs" => value("--jobs").and_then(|v| {
+                v.parse().map(|n| jobs = n).map_err(|e| format!("--jobs: {e}"))
+            }),
+            "--machines" => value("--machines").and_then(|v| {
+                v.parse()
+                    .map(|n| machines = n)
+                    .map_err(|e| format!("--machines: {e}"))
+            }),
+            "--policy" => value("--policy").map(|v| policy = v),
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            other => Err(format!("unknown argument '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            eprintln!(
+                "usage: gts trace [--seed N] [--jobs N] [--machines N] \
+                 [--policy fcfs|bf|topo-aware|topo-aware-p] [--json]"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let policy = match (AlgoConfig { policy, weights: None }).resolve() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, machines));
+    let workload = WorkloadGenerator::with_defaults(seed).generate(jobs);
+    let result = Simulation::new(cluster, profiles, SimConfig::new(policy).with_trace())
+        .run(workload);
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result.trace).expect("trace serializes")
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "gts trace — {} over {jobs} jobs (seed {seed}) on {machines} machine(s)",
+        result.policy
+    );
+    for event in &result.trace {
+        print_event(event);
+    }
+    let placed = result
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Placed { .. }))
+        .count();
+    let postponed = result
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Postponed { .. }))
+        .count();
+    println!(
+        "{} events: {placed} placements, {postponed} postponements, \
+         {} SLO violation(s), makespan {}s",
+        result.trace.len(),
+        result.slo_violations,
+        f(result.makespan_s, 1),
+    );
+    ExitCode::SUCCESS
+}
+
+fn print_event(event: &TraceEvent) {
+    match event {
+        TraceEvent::Arrived { t_s, job } => {
+            println!("[{:>9}s] {job} arrived", f(*t_s, 1));
+        }
+        TraceEvent::Evaluated { t_s, job, candidates } => {
+            println!("[{:>9}s] {job} evaluated {} candidate(s):", f(*t_s, 1), candidates.len());
+            for c in candidates {
+                let gpus: Vec<String> = c.gpus.iter().map(|g| g.to_string()).collect();
+                println!(
+                    "             {:<4} gpus=[{}] u_cc={} u_b={} u_d={} U={} frag={}  {}",
+                    c.machine.to_string(),
+                    gpus.join(","),
+                    f(c.u_cc, 3),
+                    f(c.u_b, 3),
+                    f(c.u_d, 3),
+                    f(c.utility, 3),
+                    f(c.frag_after, 3),
+                    c.outcome,
+                );
+            }
+        }
+        TraceEvent::Placed { t_s, job, gpus, utility, slo_violated } => {
+            let gpus: Vec<String> = gpus.iter().map(|g| g.to_string()).collect();
+            println!(
+                "[{:>9}s] {job} PLACED on [{}] U={}{}",
+                f(*t_s, 1),
+                gpus.join(","),
+                f(*utility, 3),
+                if *slo_violated { "  ** SLO VIOLATION **" } else { "" },
+            );
+        }
+        TraceEvent::Postponed { t_s, job, utility } => {
+            println!(
+                "[{:>9}s] {job} postponed (best U={} below threshold)",
+                f(*t_s, 1),
+                f(*utility, 3),
+            );
+        }
+        TraceEvent::Waiting { t_s, job } => {
+            println!("[{:>9}s] {job} waiting (no feasible GPUs)", f(*t_s, 1));
+        }
+        TraceEvent::Released { t_s, job } => {
+            println!("[{:>9}s] {job} released its GPUs", f(*t_s, 1));
+        }
+        TraceEvent::Spilled { t_s, job, machines } => {
+            let ms: Vec<String> = machines.iter().map(|m| m.to_string()).collect();
+            println!("[{:>9}s] {job} spilled across [{}]", f(*t_s, 1), ms.join(","));
+        }
+        TraceEvent::MachineFailed { t_s, machine } => {
+            println!("[{:>9}s] {machine} FAILED", f(*t_s, 1));
+        }
+        TraceEvent::MachineRecovered { t_s, machine } => {
+            println!("[{:>9}s] {machine} recovered", f(*t_s, 1));
+        }
+    }
 }

@@ -99,6 +99,13 @@ impl WaitQueue {
     pub fn iter(&self) -> impl Iterator<Item = &JobSpec> {
         self.queue.iter()
     }
+
+    /// Iterates over jobs parked in the postponement side list, in
+    /// postponement order. Auditors use this to check the two lists stay
+    /// disjoint from each other and from the running set.
+    pub fn postponed_iter(&self) -> impl Iterator<Item = &JobSpec> {
+        self.postponed.iter()
+    }
 }
 
 #[cfg(test)]

@@ -109,7 +109,7 @@ fn initial_partitions(g: &AffinityGraph, target_left: usize) -> Vec<Vec<bool>> {
     // Suffix: the last `target_left` vertices.
     seeds.push((0..n).map(|i| i >= n - target_left).collect());
     // Interleaved: evens first (a deliberately scrambled seed).
-    let mut order: Vec<usize> = (0..n).step_by(2).chain((1..n).step_by(2)).collect();
+    let order: Vec<usize> = (0..n).step_by(2).chain((1..n).step_by(2)).collect();
     let mut side = vec![false; n];
     for &v in order.iter().take(target_left) {
         side[v] = true;
@@ -130,7 +130,6 @@ fn initial_partitions(g: &AffinityGraph, target_left: usize) -> Vec<Vec<bool>> {
         in_left[pick] = true;
     }
     seeds.push(in_left);
-    order.clear();
     seeds
 }
 

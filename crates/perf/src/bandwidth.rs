@@ -46,7 +46,7 @@ impl BandwidthTrace {
         let n = duration_s.max(0.0).round() as usize;
         let samples_gbs = (0..n)
             .map(|_| {
-                let jitter = 1.0 + rng.gen_range(-0.05..0.05);
+                let jitter = 1.0 + rng.gen_range(-0.05f64..0.05);
                 (mean * jitter).max(0.0)
             })
             .collect();

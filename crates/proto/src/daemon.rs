@@ -153,16 +153,17 @@ impl Prototype {
             let scale = self.config.scale;
             std::thread::spawn(move || {
                 let mut samples = Vec::new();
+                let t0 = clock.now_sim();
                 let mut last: Vec<(u64, u64)> =
-                    (0..counters.n_machines()).map(|m| counters.totals(m)).collect();
-                let mut last_t = clock.now_sim();
+                    (0..counters.n_machines()).map(|m| counters.totals_at(m, t0)).collect();
+                let mut last_t = t0;
                 let tick = scale.to_wall(1.0).max(Duration::from_micros(500));
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(tick);
                     let now = clock.now_sim();
                     let dt = (now - last_t).max(1e-9);
                     for (m, prev) in last.iter_mut().enumerate() {
-                        let (p2p, host) = counters.totals(m);
+                        let (p2p, host) = counters.totals_at(m, now);
                         let (lp, lh) = *prev;
                         samples.push(BandwidthSample {
                             t_s: now,

@@ -3,9 +3,12 @@
 //! A worker burns down its job's work stock in small wall-clock chunks.
 //! Each chunk it (a) reads its current interference slowdown from the
 //! shared table the daemon maintains, (b) advances `dt / (1 + slowdown)`
-//! solo-seconds of progress, and (c) publishes the bytes its links carried
-//! to the machine's [`LinkCounters`]. When the stock is gone it reports
-//! completion over the event channel.
+//! solo-seconds of progress, and (c) publishes the bandwidth its links are
+//! carrying to the machine's [`LinkCounters`] as a *rate*, which the
+//! counters integrate continuously — so the monitor's per-second windows
+//! read true GB/s regardless of worker chunking. When the stock is gone
+//! the worker retires its rates and reports completion over the event
+//! channel.
 
 use crate::clock::ScaledClock;
 use crate::counters::LinkCounters;
@@ -53,32 +56,46 @@ const CHUNK: Duration = Duration::from_micros(500);
 pub fn run_worker(p: WorkerParams) {
     let mut remaining = p.total_solo_s;
     let mut last_sim = p.clock.now_sim();
+    // The per-channel rates this worker has published so far; retired on
+    // every exit path so the machine aggregate stays exact.
+    let (mut pub_p2p, mut pub_host, mut pub_dram) = (0.0f64, 0.0f64, 0.0f64);
+    let mut torn_down = false;
     while remaining > 0.0 {
         if p.cancelled.read().contains(&p.job) {
-            return; // torn down by the daemon; no completion event
+            torn_down = true; // daemon tore it down; no completion event
+            break;
         }
+        // Publish the bandwidth this job drives at its current slowdown.
+        let slowdown = p.slowdowns.read().get(&p.job).copied().unwrap_or(0.0);
+        let bw = sampled_bandwidth_gbs(p.iter, slowdown);
+        let (want_p2p, want_host) = if p.iter.comm_s > 0.0 && p.route == RouteClass::P2p {
+            (bw, 0.0)
+        } else {
+            (0.0, bw)
+        };
+        if want_p2p != pub_p2p || want_host != pub_host || p.dram_demand_gbs != pub_dram {
+            p.counters.update_rates(
+                p.machine,
+                last_sim,
+                want_p2p - pub_p2p,
+                want_host - pub_host,
+                p.dram_demand_gbs - pub_dram,
+            );
+            (pub_p2p, pub_host, pub_dram) = (want_p2p, want_host, p.dram_demand_gbs);
+        }
+
         std::thread::sleep(CHUNK);
         let now_sim = p.clock.now_sim();
         let dt_sim = (now_sim - last_sim).max(0.0);
         last_sim = now_sim;
-
-        let slowdown = p.slowdowns.read().get(&p.job).copied().unwrap_or(0.0);
         remaining -= dt_sim / (1.0 + slowdown);
-
-        // Counter emulation: the sampled-bandwidth model integrated over
-        // the chunk. Simulated seconds × GB/s × 1e9 = bytes.
-        let bw = sampled_bandwidth_gbs(p.iter, slowdown);
-        let bytes = (bw * dt_sim * 1e9) as u64;
-        if p.iter.comm_s > 0.0 && p.route == RouteClass::P2p {
-            p.counters.add_p2p(p.machine, bytes);
-        } else {
-            p.counters.add_host(p.machine, bytes);
-        }
-        if p.dram_demand_gbs > 0.0 {
-            p.counters.add_dram(p.machine, (p.dram_demand_gbs * dt_sim * 1e9) as u64);
-        }
     }
     let finished_at = p.clock.now_sim();
+    p.counters
+        .update_rates(p.machine, finished_at, -pub_p2p, -pub_host, -pub_dram);
+    if torn_down {
+        return;
+    }
     // The daemon may have shut down if it already saw every completion —
     // ignore a closed channel.
     let _ = p.events.send(Event::Finished { job: p.job, at_sim_s: finished_at });

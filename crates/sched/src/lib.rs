@@ -10,7 +10,9 @@
 //!   `TOPO-AWARE-P` (postponing), `FCFS` and Best-Fit (`BF`);
 //! * [`scheduler`] — the Algorithm 1 loop: arrival-ordered queue, host
 //!   filtering, placement or postponement, SLO accounting;
-//! * [`overhead`] — decision-latency metering for the §5.5.3 analysis.
+//! * [`overhead`] — decision-latency metering for the §5.5.3 analysis;
+//! * [`trace`] — opt-in decision-trace events: per-candidate Eq. 2 utility
+//!   breakdowns and every place/postpone/release/failure the loop makes.
 
 #![warn(missing_docs)]
 
@@ -21,6 +23,7 @@ pub mod policy;
 pub mod scheduler;
 pub mod spill;
 pub mod state;
+pub mod trace;
 
 pub use enforcement::{launch_plan, LaunchPlan};
 pub use oracle::StateOracle;
@@ -29,3 +32,4 @@ pub use policy::{Policy, PolicyKind};
 pub use scheduler::{CancelOutcome, PlacementOutcome, Scheduler, SchedulerConfig};
 pub use spill::{decide_spill, ClusterOracle};
 pub use state::{Allocation, ClusterState};
+pub use trace::{CandidateEval, EvalOutcome, TraceEvent};

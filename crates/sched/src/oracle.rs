@@ -101,15 +101,14 @@ pub fn best_possible_cost(topo: &MachineTopology, n: usize) -> f64 {
     }
 }
 
-/// Final normalized utility of a concrete placement (DESIGN.md §2),
-/// compared by `TOPO-AWARE-P` against the job's `min_utility`.
-pub fn placement_utility(
+/// The Eq. 2 component breakdown of a concrete placement (DESIGN.md §2) —
+/// what the decision trace records per candidate machine.
+pub fn placement_components(
     state: &ClusterState,
     machine: MachineId,
     job: &JobSpec,
     gpus: &[GpuId],
-    weights: UtilityWeights,
-) -> f64 {
+) -> UtilityComponents {
     let topo = state.cluster().machine(machine);
     let oracle = StateOracle::new(state, machine, job);
 
@@ -123,11 +122,19 @@ pub fn placement_utility(
     let u_interference = oracle.interference(gpus);
     let u_domains =
         UtilityComponents::u_domains_from_span(topo.sockets_spanned(gpus), topo.n_sockets());
+    UtilityComponents { u_cc, u_interference, u_domains }
+}
 
-    gts_map::utility(
-        UtilityComponents { u_cc, u_interference, u_domains },
-        weights,
-    )
+/// Final normalized utility of a concrete placement (DESIGN.md §2),
+/// compared by `TOPO-AWARE-P` against the job's `min_utility`.
+pub fn placement_utility(
+    state: &ClusterState,
+    machine: MachineId,
+    job: &JobSpec,
+    gpus: &[GpuId],
+    weights: UtilityWeights,
+) -> f64 {
+    gts_map::utility(placement_components(state, machine, job, gpus), weights)
 }
 
 #[cfg(test)]

@@ -13,8 +13,9 @@
 //!   variant additionally *postpones* jobs whose best utility falls below
 //!   their `min_utility` SLO.
 
-use crate::oracle::{placement_utility, StateOracle};
+use crate::oracle::{placement_components, placement_utility, StateOracle};
 use crate::state::{on_machine, ClusterState};
+use crate::trace::{CandidateEval, EvalOutcome};
 use gts_job::{JobGraph, JobSpec};
 use gts_map::{drb_map, UtilityWeights};
 use gts_topo::{GlobalGpuId, GpuId, MachineId};
@@ -92,14 +93,85 @@ impl Policy {
     /// Proposes a placement for `job`, or `None` when no feasible set of
     /// GPUs exists right now. Never mutates state.
     pub fn decide(&self, state: &ClusterState, job: &JobSpec) -> Option<Decision> {
+        self.decide_impl(state, job, None)
+    }
+
+    /// Like [`Policy::decide`], but records every candidate machine the
+    /// search touched — with its Eq. 2 utility breakdown — into `evals`.
+    /// The evaluations appear in search order; the winning candidate (if
+    /// any) is marked [`EvalOutcome::Chosen`].
+    pub fn decide_traced(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        evals: &mut Vec<CandidateEval>,
+    ) -> Option<Decision> {
+        self.decide_impl(state, job, Some(evals))
+    }
+
+    fn record_eval(
+        &self,
+        trace: &mut Option<&mut Vec<CandidateEval>>,
+        state: &ClusterState,
+        job: &JobSpec,
+        machine: MachineId,
+        gpus: &[GpuId],
+        outcome: EvalOutcome,
+    ) {
+        if let Some(evals) = trace.as_deref_mut() {
+            let (u_cc, u_b, u_d, utility) = if gpus.is_empty() {
+                (0.0, 0.0, 0.0, 0.0)
+            } else {
+                let c = placement_components(state, machine, job, gpus);
+                (
+                    c.u_cc,
+                    c.u_interference,
+                    c.u_domains,
+                    gts_map::utility(c, self.weights),
+                )
+            };
+            evals.push(CandidateEval {
+                machine,
+                gpus: gpus.to_vec(),
+                u_cc,
+                u_b,
+                u_d,
+                utility,
+                frag_after: fragmentation_after(state, machine, job, gpus),
+                outcome,
+            });
+        }
+    }
+
+    fn decide_impl(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        mut trace: Option<&mut Vec<CandidateEval>>,
+    ) -> Option<Decision> {
         if job.constraints.anti_collocate && job.n_gpus > 1 {
-            return self.decide_anti_collocated(state, job);
+            let decision = self.decide_anti_collocated(state, job);
+            if let Some(d) = &decision {
+                for g in &d.gpus {
+                    self.record_eval(
+                        &mut trace,
+                        state,
+                        job,
+                        g.machine,
+                        &[g.gpu],
+                        EvalOutcome::Chosen,
+                    );
+                }
+            }
+            return decision;
         }
         let n = job.n_gpus as usize;
         let candidates = state.machines_with_capacity(n);
         if candidates.is_empty() {
             // Multi-node-capable jobs may spill across machines — the
-            // disaggregated-GPU extension (§7 future work).
+            // disaggregated-GPU extension (§7 future work). Spill search is
+            // cluster-wide; the scheduler traces it as a `Spilled` event
+            // rather than per-machine evaluations.
             if !job.constraints.single_node {
                 return self.decide_spilled(state, job);
             }
@@ -109,46 +181,105 @@ impl Policy {
             PolicyKind::Fcfs => {
                 // First machine (in id order) whose pick also satisfies the
                 // §4.3 bandwidth constraint.
-                candidates.iter().find_map(|&machine| {
+                for machine in candidates {
                     let gpus: Vec<GpuId> =
                         state.free_gpus(machine).into_iter().take(n).collect();
-                    state
-                        .fits_bw(machine, &gpus, job.bw_demand_gbs)
-                        .then(|| self.seal(state, job, machine, gpus))
-                })
+                    if state.fits_bw(machine, &gpus, job.bw_demand_gbs) {
+                        self.record_eval(
+                            &mut trace,
+                            state,
+                            job,
+                            machine,
+                            &gpus,
+                            EvalOutcome::Chosen,
+                        );
+                        return Some(self.seal(state, job, machine, gpus));
+                    }
+                    self.record_eval(
+                        &mut trace,
+                        state,
+                        job,
+                        machine,
+                        &gpus,
+                        EvalOutcome::RejectedBandwidth,
+                    );
+                }
+                None
             }
             PolicyKind::BestFit => {
                 let mut ordered = candidates;
                 ordered.sort_by_key(|&m| (state.free_count(m), m));
-                ordered.into_iter().find_map(|machine| {
+                for machine in ordered {
                     let gpus = best_fit_gpus(state, machine, n);
-                    state
-                        .fits_bw(machine, &gpus, job.bw_demand_gbs)
-                        .then(|| self.seal(state, job, machine, gpus))
-                })
+                    if state.fits_bw(machine, &gpus, job.bw_demand_gbs) {
+                        self.record_eval(
+                            &mut trace,
+                            state,
+                            job,
+                            machine,
+                            &gpus,
+                            EvalOutcome::Chosen,
+                        );
+                        return Some(self.seal(state, job, machine, gpus));
+                    }
+                    self.record_eval(
+                        &mut trace,
+                        state,
+                        job,
+                        machine,
+                        &gpus,
+                        EvalOutcome::RejectedBandwidth,
+                    );
+                }
+                None
             }
             PolicyKind::TopoAware | PolicyKind::TopoAwareP => {
                 let graph = JobGraph::from_spec(job);
-                let mut best: Option<(Decision, MachineId)> = None;
+                let mut feasible: Vec<(Decision, f64, usize)> = Vec::new();
                 for &machine in &candidates {
                     let free = state.free_gpus(machine);
                     let oracle = StateOracle::new(state, machine, job);
                     let Ok(gpus) = drb_map(&graph, &free, &oracle, self.weights) else {
+                        self.record_eval(
+                            &mut trace,
+                            state,
+                            job,
+                            machine,
+                            &[],
+                            EvalOutcome::NoMapping,
+                        );
                         continue;
                     };
                     if !state.fits_bw(machine, &gpus, job.bw_demand_gbs) {
+                        self.record_eval(
+                            &mut trace,
+                            state,
+                            job,
+                            machine,
+                            &gpus,
+                            EvalOutcome::RejectedBandwidth,
+                        );
                         continue;
                     }
+                    self.record_eval(
+                        &mut trace,
+                        state,
+                        job,
+                        machine,
+                        &gpus,
+                        EvalOutcome::Outscored,
+                    );
+                    let eval_idx = trace.as_deref().map(|t| t.len() - 1).unwrap_or(0);
+                    let frag = fragmentation_after(state, machine, job, &gpus);
                     let d = self.seal(state, job, machine, gpus);
-                    let better = match &best {
-                        None => true,
-                        Some((cur, _)) => d.utility > cur.utility + 1e-12,
-                    };
-                    if better {
-                        best = Some((d, machine));
-                    }
+                    feasible.push((d, frag, eval_idx));
                 }
-                best.map(|(d, _)| d)
+                let winner = select_candidate(&feasible, job.min_utility)?;
+                let (d, _, winner_idx) = feasible.swap_remove(winner);
+                if let Some(evals) = trace {
+                    evals[winner_idx].outcome = EvalOutcome::Chosen;
+                }
+                Some(d)
             }
         }
     }
@@ -237,6 +368,61 @@ impl Policy {
         let utility = placement_utility(state, machine, job, &gpus, self.weights);
         Decision { gpus: on_machine(machine, &gpus), utility }
     }
+}
+
+/// Utilities closer than this are indistinguishable: the Eq. 4 interference
+/// model is only a few percent accurate against the Fig. 6 measurements, so
+/// preferring a machine for a sub-percent utility edge is noise-chasing.
+const FRAG_TIE_EPS: f64 = 0.01;
+
+/// Picks the winning candidate among `(decision, frag_after, eval_idx)`
+/// triples: highest utility wins, but candidates within [`FRAG_TIE_EPS`] of
+/// the best are treated as a tie and resolved by the Eq. 5 fragmentation
+/// each machine would be left with — topping off a busy machine beats
+/// cracking open an idle one that a wide job will need. Tied candidates
+/// below `min_utility` never displace one that satisfies the SLO.
+fn select_candidate(feasible: &[(Decision, f64, usize)], min_utility: f64) -> Option<usize> {
+    let u_max = feasible
+        .iter()
+        .map(|(d, _, _)| d.utility)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let floor = u_max - FRAG_TIE_EPS;
+    // Only gate on the SLO when the best candidate clears it; otherwise the
+    // job is getting a violation either way and pure utility should rule.
+    let gate = if u_max + 1e-9 >= min_utility {
+        min_utility
+    } else {
+        f64::NEG_INFINITY
+    };
+    let mut winner: Option<usize> = None;
+    for (i, (d, frag, _)) in feasible.iter().enumerate() {
+        if d.utility + 1e-12 < floor || d.utility + 1e-9 < gate {
+            continue;
+        }
+        let better = match winner {
+            None => true,
+            Some(w) => {
+                let (dw, fw, _) = &feasible[w];
+                *frag + 1e-12 < *fw
+                    || ((*frag - *fw).abs() <= 1e-12 && d.utility > dw.utility + 1e-12)
+            }
+        };
+        if better {
+            winner = Some(i);
+        }
+    }
+    winner
+}
+
+/// Eq. 5 fragmentation `machine` would be left with after granting `gpus`.
+fn fragmentation_after(
+    state: &ClusterState,
+    machine: MachineId,
+    job: &JobSpec,
+    gpus: &[GpuId],
+) -> f64 {
+    use gts_map::PlacementOracle as _;
+    StateOracle::new(state, machine, job).fragmentation_after(gpus)
 }
 
 /// Best-Fit GPU selection within a machine: GPUs from the most-utilized
@@ -337,6 +523,40 @@ mod tests {
         let local: Vec<GpuId> = d.gpus.iter().map(|x| x.gpu).collect();
         assert!(topo.is_packed(&local), "got {local:?}");
         assert!((d.utility - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_tie_consolidates_instead_of_cracking_open_an_idle_machine() {
+        // Regression: a 2-GPU job joining a machine whose only tenant sits
+        // on the *other* socket loses well under FRAG_TIE_EPS of utility,
+        // yet the policy used to chase that sliver onto an empty machine —
+        // strewing 1–2-GPU jobs across the cluster until no machine could
+        // drain for a 4-GPU job (the fig10 seed-1001 waiting-time bug).
+        let mut s = state(2);
+        let mild = JobSpec::new(10, NnModel::GoogLeNet, BatchClass::Big, 2)
+            .with_min_utility(0.5);
+        s.place(mild, vec![g(0, 0), g(0, 1)], 1.0);
+        let d = Policy::new(PolicyKind::TopoAware).decide(&s, &job(0, 2)).unwrap();
+        assert_eq!(
+            d.gpus[0].machine,
+            MachineId(0),
+            "a near-tie must resolve toward the machine that stays packed"
+        );
+        assert!(d.utility > 0.99, "the tie really is near: {}", d.utility);
+    }
+
+    #[test]
+    fn tie_break_never_trades_an_slo_pass_for_a_violation() {
+        let far = Decision { gpus: vec![g(0, 0)], utility: 0.503 };
+        let near = Decision { gpus: vec![g(1, 0)], utility: 0.498 };
+        // Both within FRAG_TIE_EPS; the lower-fragmentation pick misses the
+        // job's min_utility, so the SLO-satisfying candidate must win.
+        let feasible = vec![(far, 0.5, 0), (near, 0.0, 1)];
+        let winner = select_candidate(&feasible, 0.5).unwrap();
+        assert_eq!(winner, 0);
+        // With no SLO in reach, fragmentation decides.
+        let winner = select_candidate(&feasible, 0.9).unwrap();
+        assert_eq!(winner, 1);
     }
 
     #[test]

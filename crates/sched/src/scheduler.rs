@@ -19,8 +19,9 @@
 use crate::overhead::DecisionStats;
 use crate::policy::Policy;
 use crate::state::{Allocation, ClusterState};
+use crate::trace::TraceEvent;
 use gts_job::{JobId, JobSpec, WaitQueue};
-use gts_topo::GlobalGpuId;
+use gts_topo::{GlobalGpuId, MachineId};
 use std::time::Instant;
 
 /// Scheduler construction parameters.
@@ -80,6 +81,9 @@ pub struct Scheduler {
     stats: DecisionStats,
     slo_violations: usize,
     postpone_counts: std::collections::HashMap<JobId, u32>,
+    tracing: bool,
+    now_s: f64,
+    trace: Vec<TraceEvent>,
 }
 
 impl Scheduler {
@@ -92,6 +96,39 @@ impl Scheduler {
             stats: DecisionStats::new(),
             slo_violations: 0,
             postpone_counts: std::collections::HashMap::new(),
+            tracing: false,
+            now_s: 0.0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Turns the decision-trace stream on or off. Off by default — tracing
+    /// allocates per decision, so benches and steady-state runs pay nothing
+    /// unless a driver opts in.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Whether the decision trace is being recorded.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Sets the wall-clock the next trace events will be stamped with.
+    /// Drivers call this as their simulated (or real) time advances.
+    pub fn set_now(&mut self, t_s: f64) {
+        self.now_s = t_s;
+    }
+
+    /// Drains and returns the trace recorded so far.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if self.tracing {
+            self.trace.push(event);
         }
     }
 
@@ -150,13 +187,29 @@ impl Scheduler {
     /// Enqueues an arriving job.
     pub fn submit(&mut self, job: JobSpec) {
         debug_assert!(job.validate().is_ok(), "invalid job submitted");
+        self.emit(TraceEvent::Arrived { t_s: self.now_s, job: job.id });
         self.queue.add(job);
     }
 
     /// Releases a finished job's GPUs (the "a job has finished" wakeup
     /// event feeds this, then calls [`Scheduler::run_iteration`]).
     pub fn complete(&mut self, id: JobId) -> Allocation {
+        self.emit(TraceEvent::Released { t_s: self.now_s, job: id });
         self.state.release(id)
+    }
+
+    /// Takes a machine offline, releasing nothing — the driver must have
+    /// already cancelled (or migrated) the jobs running there. Emits a
+    /// trace event, unlike raw `state_mut().set_machine_down`.
+    pub fn fail_machine(&mut self, machine: MachineId) {
+        self.emit(TraceEvent::MachineFailed { t_s: self.now_s, machine });
+        self.state.set_machine_down(machine, true);
+    }
+
+    /// Brings a failed machine back into the pool.
+    pub fn recover_machine(&mut self, machine: MachineId) {
+        self.emit(TraceEvent::MachineRecovered { t_s: self.now_s, machine });
+        self.state.set_machine_down(machine, false);
     }
 
     /// Cancels a job wherever it currently is.
@@ -170,6 +223,7 @@ impl Scheduler {
             return CancelOutcome::Dequeued;
         }
         if self.state.allocation(id).is_some() {
+            self.emit(TraceEvent::Released { t_s: self.now_s, job: id });
             return CancelOutcome::Stopped(self.state.release(id));
         }
         CancelOutcome::NotFound
@@ -183,12 +237,26 @@ impl Scheduler {
             let job = self.queue.pop().expect("queue checked non-empty");
 
             let started = Instant::now();
-            let decision = self.policy.decide(&self.state, &job);
+            let decision = if self.tracing {
+                let mut evals = Vec::new();
+                let d = self.policy.decide_traced(&self.state, &job, &mut evals);
+                if !evals.is_empty() {
+                    self.trace.push(TraceEvent::Evaluated {
+                        t_s: self.now_s,
+                        job: job.id,
+                        candidates: evals,
+                    });
+                }
+                d
+            } else {
+                self.policy.decide(&self.state, &job)
+            };
             self.stats.record(started.elapsed());
 
             match decision {
                 None => {
                     let id = job.id;
+                    self.emit(TraceEvent::Waiting { t_s: self.now_s, job: id });
                     if self.policy.kind.postpones() {
                         // Out-of-order execution: park it, keep draining.
                         self.queue.postpone(job);
@@ -204,6 +272,11 @@ impl Scheduler {
                     let below = d.utility + 1e-9 < job.min_utility;
                     if below && self.policy.kind.postpones() {
                         *self.postpone_counts.entry(job.id).or_insert(0) += 1;
+                        self.emit(TraceEvent::Postponed {
+                            t_s: self.now_s,
+                            job: job.id,
+                            utility: d.utility,
+                        });
                         outcomes.push(PlacementOutcome::PostponedLowUtility {
                             id: job.id,
                             utility: d.utility,
@@ -212,6 +285,26 @@ impl Scheduler {
                     } else {
                         if below {
                             self.slo_violations += 1;
+                        }
+                        if self.tracing {
+                            let mut machines: Vec<MachineId> =
+                                d.gpus.iter().map(|g| g.machine).collect();
+                            machines.sort_unstable();
+                            machines.dedup();
+                            if machines.len() > 1 {
+                                self.trace.push(TraceEvent::Spilled {
+                                    t_s: self.now_s,
+                                    job: job.id,
+                                    machines,
+                                });
+                            }
+                            self.trace.push(TraceEvent::Placed {
+                                t_s: self.now_s,
+                                job: job.id,
+                                gpus: d.gpus.clone(),
+                                utility: d.utility,
+                                slo_violated: below,
+                            });
                         }
                         outcomes.push(PlacementOutcome::Placed {
                             spec: job.clone(),
@@ -225,7 +318,37 @@ impl Scheduler {
             }
         }
         self.queue.requeue_postponed();
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.audit() {
+            panic!("Scheduler::audit failed after iteration: {e}");
+        }
         outcomes
+    }
+
+    /// Cross-checks the scheduler's bookkeeping on top of
+    /// [`ClusterState::audit`]: a job must live in exactly one place —
+    /// waiting queue, postponement list, or the running set — and the two
+    /// queue lists must themselves be duplicate-free.
+    pub fn audit(&self) -> Result<(), String> {
+        self.state.audit()?;
+        let mut seen = std::collections::HashSet::new();
+        for job in self.queue.iter() {
+            if !seen.insert(job.id) {
+                return Err(format!("{} queued twice", job.id));
+            }
+            if self.state.allocation(job.id).is_some() {
+                return Err(format!("{} is both queued and running", job.id));
+            }
+        }
+        for job in self.queue.postponed_iter() {
+            if !seen.insert(job.id) {
+                return Err(format!("{} in both queue and postponed list", job.id));
+            }
+            if self.state.allocation(job.id).is_some() {
+                return Err(format!("{} is both postponed and running", job.id));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -307,6 +307,7 @@ impl ClusterState {
         }
         let id = spec.id;
         self.running.insert(id, Allocation { spec, gpus, utility });
+        self.debug_audit();
     }
 
     /// Releases a finished job's GPUs. Returns the allocation it held.
@@ -331,7 +332,126 @@ impl ClusterState {
                 *used = (*used - share).max(0.0);
             }
         }
+        self.debug_audit();
         alloc
+    }
+
+    /// Exhaustively cross-checks the state's internal invariants against the
+    /// running-allocation table. Cheap enough to run after every mutation in
+    /// debug builds (it is, under `debug_assertions`); release builds call
+    /// it only where a driver explicitly asks.
+    ///
+    /// Invariants checked:
+    ///
+    /// 1. **No double-booking** — no GPU appears in two allocations (or
+    ///    twice in one);
+    /// 2. **Conservation** — a GPU is marked busy in the free bitmap *iff*
+    ///    exactly one allocation holds it;
+    /// 3. **Bandwidth accounting** — per-socket `bw_used` equals the sum of
+    ///    the running allocations' committed shares;
+    /// 4. **Socket-occupancy totals** — per-socket `(free, total)` readings
+    ///    agree with the free bitmap and the machine topology;
+    /// 5. **Down machines are empty** — an offline machine hosts no
+    ///    allocation and reports no capacity.
+    pub fn audit(&self) -> Result<(), String> {
+        // 1 + 2a: walk allocations, claiming each GPU exactly once.
+        let mut owner: Vec<Vec<Option<JobId>>> = self
+            .free
+            .iter()
+            .map(|m| vec![None; m.len()])
+            .collect();
+        for (id, alloc) in &self.running {
+            if alloc.spec.id != *id {
+                return Err(format!("running table key {id} holds {}", alloc.spec.id));
+            }
+            for g in &alloc.gpus {
+                if self.down[g.machine.index()] {
+                    return Err(format!("{} is down but hosts {id}", g.machine));
+                }
+                let slot = &mut owner[g.machine.index()][g.gpu.index()];
+                if let Some(prev) = slot {
+                    return Err(format!("{g} double-booked by {prev} and {id}"));
+                }
+                *slot = Some(*id);
+                if self.free[g.machine.index()][g.gpu.index()] {
+                    return Err(format!("{g} allocated to {id} but marked free"));
+                }
+            }
+        }
+        // 2b: every busy GPU belongs to some allocation.
+        for (mi, bitmap) in self.free.iter().enumerate() {
+            for (gi, &is_free) in bitmap.iter().enumerate() {
+                if !is_free && owner[mi][gi].is_none() {
+                    return Err(format!(
+                        "machine{mi}/gpu{gi} is marked busy but no allocation holds it"
+                    ));
+                }
+            }
+        }
+        // 3: recompute committed bandwidth from scratch.
+        let mut expected: Vec<Vec<f64>> = self
+            .bw_used
+            .iter()
+            .map(|m| vec![0.0; m.len()])
+            .collect();
+        for alloc in self.running.values() {
+            for m in alloc.machines() {
+                let local = alloc.gpus_on(m);
+                let machine_share = alloc.spec.bw_demand_gbs * local.len() as f64
+                    / alloc.gpus.len().max(1) as f64;
+                for (s, share) in self.bw_shares(m, &local, machine_share) {
+                    expected[m.index()][s] += share;
+                }
+            }
+        }
+        for (mi, sockets) in self.bw_used.iter().enumerate() {
+            for (si, &used) in sockets.iter().enumerate() {
+                let want = expected[mi][si];
+                if (used - want).abs() > 1e-6 {
+                    return Err(format!(
+                        "machine{mi}/socket{si} bandwidth ledger {used} GB/s \
+                         disagrees with allocations ({want} GB/s)"
+                    ));
+                }
+                if used > self.bw_capacity_gbs + 1e-6 {
+                    return Err(format!(
+                        "machine{mi}/socket{si} over capacity: {used} > {}",
+                        self.bw_capacity_gbs
+                    ));
+                }
+            }
+        }
+        // 4 + 5: occupancy readings and down-machine capacity.
+        for m in self.cluster.machines() {
+            let occ = self.socket_occupancy(m);
+            let topo = self.cluster.machine(m);
+            let free_sum: u32 = occ.iter().map(|&(f, _)| f).sum();
+            let total_sum: u32 = occ.iter().map(|&(_, t)| t).sum();
+            let bitmap_free = self.free[m.index()].iter().filter(|&&f| f).count() as u32;
+            if free_sum != bitmap_free {
+                return Err(format!(
+                    "{m} socket occupancy sums to {free_sum} free, bitmap says {bitmap_free}"
+                ));
+            }
+            if total_sum != topo.n_gpus() as u32 {
+                return Err(format!(
+                    "{m} socket occupancy covers {total_sum} GPUs of {}",
+                    topo.n_gpus()
+                ));
+            }
+            if self.down[m.index()] && self.free_count(m) != 0 {
+                return Err(format!("{m} is down but reports free capacity"));
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn debug_audit(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.audit() {
+            panic!("ClusterState::audit failed after mutation: {e}");
+        }
     }
 
     /// Sockets of `machine` touched by running jobs other than `exclude`.

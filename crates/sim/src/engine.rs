@@ -39,6 +39,10 @@ pub struct SimConfig {
     /// Scripted machine recoveries: at each `(time_s, machine)` a failed
     /// machine rejoins the pool.
     pub machine_recoveries: Vec<(f64, MachineId)>,
+    /// Record the scheduler's decision trace into `SimResult::trace` —
+    /// per-candidate utility breakdowns for every placement decision. Off
+    /// by default: tracing allocates per decision, so benches pay nothing.
+    pub trace: bool,
 }
 
 impl SimConfig {
@@ -52,7 +56,14 @@ impl SimConfig {
             jitter_seed: 0,
             machine_failures: Vec::new(),
             machine_recoveries: Vec::new(),
+            trace: false,
         }
+    }
+
+    /// Turns decision-trace recording on.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Schedules machine failures.
@@ -118,7 +129,8 @@ impl Simulation {
         config: SimConfig,
     ) -> Self {
         let state = ClusterState::new(Arc::clone(&cluster), profiles);
-        let scheduler = Scheduler::new(state, SchedulerConfig { policy: config.policy });
+        let mut scheduler = Scheduler::new(state, SchedulerConfig { policy: config.policy });
+        scheduler.set_tracing(config.trace);
         let mut pending_failures = config.machine_failures.clone();
         pending_failures.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite failure times"));
         let mut pending_recoveries = config.machine_recoveries.clone();
@@ -201,6 +213,7 @@ impl Simulation {
                 r.advance(dt);
             }
             self.now = t;
+            self.scheduler.set_now(t);
 
             self.process_completions();
             self.process_failures();
@@ -225,6 +238,7 @@ impl Simulation {
             .iter()
             .map(|r| r.finished_at_s)
             .fold(0.0, f64::max);
+        let trace = self.scheduler.take_trace();
         SimResult {
             policy: self.config.policy.kind,
             makespan_s,
@@ -236,6 +250,7 @@ impl Simulation {
             utility_series: self.utility_series,
             failures: self.failures_applied,
             events: self.events,
+            trace,
         }
     }
 
@@ -282,7 +297,7 @@ impl Simulation {
                 // queue fairness is preserved.
                 self.scheduler.submit(lost.alloc.spec.clone());
             }
-            self.scheduler.state_mut().set_machine_down(machine, true);
+            self.scheduler.fail_machine(machine);
             self.failures_applied.push((self.now, machine));
             let interrupted: Vec<gts_job::JobId> = self
                 .restarts
@@ -354,7 +369,7 @@ impl Simulation {
             }
             self.pending_recoveries.remove(0);
             if self.scheduler.state().is_machine_down(machine) {
-                self.scheduler.state_mut().set_machine_down(machine, false);
+                self.scheduler.recover_machine(machine);
             }
         }
     }

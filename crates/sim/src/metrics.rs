@@ -161,6 +161,10 @@ pub struct SimResult {
     /// Time-ordered event log of the whole run.
     #[serde(default)]
     pub events: Vec<SimEvent>,
+    /// The scheduler's decision trace — empty unless the run opted in via
+    /// [`crate::engine::SimConfig::with_trace`].
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub trace: Vec<gts_sched::TraceEvent>,
 }
 
 impl SimResult {
@@ -304,6 +308,7 @@ mod tests {
             mean_decision_s: 0.0,
             failures: vec![],
             events: vec![],
+            trace: vec![],
         }
     }
 

@@ -18,8 +18,88 @@ fn simulate_random(
     simulate(cluster, profiles, Policy::new(kind), trace)
 }
 
+fn simulate_random_traced(
+    seed: u64,
+    n_jobs: usize,
+    n_machines: usize,
+    kind: PolicyKind,
+) -> SimResult {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+    let trace = WorkloadGenerator::with_defaults(seed).generate(n_jobs);
+    Simulation::new(cluster, profiles, SimConfig::new(Policy::new(kind)).with_trace())
+        .run(trace)
+}
+
 fn any_policy() -> impl Strategy<Value = PolicyKind> {
     prop::sample::select(PolicyKind::ALL.to_vec())
+}
+
+/// Drives a scheduler by hand over a generated workload, auditing after
+/// every mutation, and verifies the cluster drains back to empty.
+fn drive_and_audit(kind: PolicyKind, seed: u64) {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, 2));
+    let capacity = cluster.n_gpus();
+    let mut s = Scheduler::new(
+        ClusterState::new(cluster, profiles),
+        SchedulerConfig { policy: Policy::new(kind) },
+    );
+    s.set_tracing(true);
+
+    for (i, job) in WorkloadGenerator::with_defaults(seed)
+        .generate(20)
+        .into_iter()
+        .enumerate()
+    {
+        s.set_now(i as f64);
+        s.submit(job);
+        s.run_iteration();
+        s.audit().unwrap_or_else(|e| panic!("{kind:?}: audit after submit: {e}"));
+    }
+    // Retire running jobs lowest-id first until everything drains.
+    while let Some(id) = s.state().running().map(|a| a.spec.id).min() {
+        s.complete(id);
+        s.run_iteration();
+        s.audit().unwrap_or_else(|e| panic!("{kind:?}: audit after completion: {e}"));
+    }
+
+    assert_eq!(s.state().n_running(), 0, "{kind:?}: jobs left running");
+    assert_eq!(s.state().total_free(), capacity, "{kind:?}: GPUs leaked");
+    assert!(s.queue().is_empty(), "{kind:?}: jobs stranded in the queue");
+
+    // Every job's lifecycle closes: exactly one Placed and one Released.
+    let trace = s.take_trace();
+    let count = |want: fn(&TraceEvent) -> Option<JobId>, id: JobId| {
+        trace.iter().filter(|e| want(e) == Some(id)).count()
+    };
+    for id in (0..20).map(JobId) {
+        let placed = count(
+            |e| match e {
+                TraceEvent::Placed { job, .. } => Some(*job),
+                _ => None,
+            },
+            id,
+        );
+        let released = count(
+            |e| match e {
+                TraceEvent::Released { job, .. } => Some(*job),
+                _ => None,
+            },
+            id,
+        );
+        assert_eq!(placed, 1, "{kind:?}: {id} placed {placed} times");
+        assert_eq!(released, 1, "{kind:?}: {id} released {released} times");
+    }
+}
+
+#[test]
+fn every_policy_passes_the_audit_and_drains_the_cluster() {
+    for kind in PolicyKind::ALL {
+        drive_and_audit(kind, 7);
+    }
 }
 
 proptest! {
@@ -74,6 +154,25 @@ proptest! {
         for r in &res.records {
             prop_assert!(r.finished_at_s <= res.makespan_s + 1e-9);
         }
+    }
+
+    #[test]
+    fn trace_pairs_place_and_release_per_completed_job(seed in 0u64..1000, kind in any_policy()) {
+        let res = simulate_random_traced(seed, 25, 2, kind);
+        for r in &res.records {
+            let placed = res.trace.iter().filter(|e| matches!(
+                e, TraceEvent::Placed { job, .. } if *job == r.spec.id
+            )).count();
+            let released = res.trace.iter().filter(|e| matches!(
+                e, TraceEvent::Released { job, .. } if *job == r.spec.id
+            )).count();
+            prop_assert_eq!(placed, 1, "{} placed {} times", r.spec.id, placed);
+            prop_assert_eq!(released, 1, "{} released {} times", r.spec.id, released);
+        }
+        // Cluster-wide, grants and releases balance: the run drained.
+        let all_placed = res.trace.iter().filter(|e| matches!(e, TraceEvent::Placed { .. })).count();
+        let all_released = res.trace.iter().filter(|e| matches!(e, TraceEvent::Released { .. })).count();
+        prop_assert_eq!(all_placed, all_released);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Offline vendored mini-`criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the `criterion 0.5`
+//! API subset the workspace's benches use. No statistics, plots, or
+//! baselines — each benchmark runs `sample_size` timed iterations after a
+//! single warm-up and reports mean/min per-iteration time.
+//!
+//! In test mode (`cargo test` passes `--test` to `harness = false` bench
+//! binaries) every benchmark body executes exactly once so benches are
+//! smoke-tested without burning wall-clock time.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier (`BenchmarkId::new("group", param)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn label(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: String::new() }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Collected per-iteration durations for the report.
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            let _ = routine();
+            return;
+        }
+        // One warm-up iteration, then timed samples.
+        let _ = routine();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.timings.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            let _ = routine(setup());
+            return;
+        }
+        let _ = routine(setup());
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.timings.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Batch sizing hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        let test_mode = self.criterion.test_mode;
+        let mut bencher =
+            Bencher { test_mode, sample_size: self.sample_size, timings: Vec::new() };
+        f(&mut bencher);
+        report(&label, test_mode, &bencher.timings);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+fn report(label: &str, test_mode: bool, timings: &[Duration]) {
+    if test_mode {
+        println!("bench {label}: ok (test mode, 1 iteration)");
+        return;
+    }
+    if timings.is_empty() {
+        println!("bench {label}: no samples");
+        return;
+    }
+    let total: Duration = timings.iter().sum();
+    let mean = total / timings.len() as u32;
+    let min = timings.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {label}: mean {:?}, min {:?} over {} iterations",
+        mean,
+        min,
+        timings.len()
+    );
+}
+
+/// The harness entry object handed to each bench function.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Anything with `--test` wins.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode, default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { name: name.to_string(), criterion: self, sample_size }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let test_mode = self.test_mode;
+        let mut bencher = Bencher {
+            test_mode,
+            sample_size: self.default_sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, test_mode, &bencher.timings);
+        self
+    }
+}
+
+/// Re-export for code written against criterion's `black_box` (std's hint
+/// has identical semantics here).
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

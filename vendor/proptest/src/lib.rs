@@ -1,0 +1,627 @@
+//! Offline vendored mini-`proptest`.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This crate reimplements the subset the
+//! workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat) {...} }`
+//! * range strategies (`0u64..1000`, `1usize..=4`, `0.0f64..60.0`),
+//!   tuples of strategies, `Just`, `.prop_map`, `prop_oneof!`,
+//!   `prop::bool::ANY`, `prop::collection::vec`, `prop::sample::select`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test's module path and the attempt index, so
+//! every run explores the same inputs (upstream randomizes and persists
+//! regressions); there is no shrinking — the failure report prints the
+//! attempt index and the generated arguments instead.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (xoshiro256++, seeded by splitmix64 — independent from
+// the vendored `rand` so the two crates stay decoupled)
+// ---------------------------------------------------------------------------
+
+/// Per-case deterministic random source.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Derives the RNG for one test case from the test identity and the
+    /// attempt number. FNV-1a over the name keeps distinct tests on
+    /// distinct streams.
+    pub fn for_case(test_name: &str, attempt: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self::from_seed(h ^ (u64::from(attempt) << 32 | u64::from(attempt)))
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        let s = if s == [0, 0, 0, 0] { [1, 2, 3, 4] } else { s };
+        TestRng { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-case plumbing
+// ---------------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this input out; the runner draws a new one.
+    Reject(String),
+    /// A `prop_assert*!` failed; the runner panics with this message.
+    Fail(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (`cases` is the number of *accepted* inputs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Object-safe for `generate`, so `BoxedStrategy` is just a boxed trait
+/// object; the combinators carry `Self: Sized` bounds.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred, whence }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `.prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `.prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+// Ranges --------------------------------------------------------------------
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = rng.next_u64() as u128 % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start + (self.end - self.start) * rng.unit_f64() as $t;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                start + (end - start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+// Tuples --------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $S:ident),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// Namespaced helpers (the `prop::` tree) ------------------------------------
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// `prop::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: a fixed size or a range of sizes.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (s, e) = (*self.start(), *self.end());
+            s + rng.below((e - s + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `prop::collection::vec(element, len)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding uniform clones from a fixed pool.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        pool: Vec<T>,
+    }
+
+    /// `prop::sample::select(values)`.
+    pub fn select<T: Clone>(pool: Vec<T>) -> Select<T> {
+        assert!(!pool.is_empty(), "select() needs a non-empty pool");
+        Select { pool }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.pool.len() as u64) as usize;
+            self.pool[idx].clone()
+        }
+    }
+}
+
+/// The `prop::` namespace as the prelude exposes it.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {}: {}", stringify!($cond), ::std::format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($a), stringify!($b), left, right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                            stringify!($a), stringify!($b), left, right,
+                            ::std::format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if *left == *right {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($a), stringify!($b), left
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The test harness macro. Each `#[test] fn name(arg in strategy, ...)`
+/// becomes a plain `#[test]` that runs `cases` accepted inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ::std::default::Default::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut accepted: u32 = 0;
+            let mut attempt: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(1000);
+            while accepted < config.cases {
+                attempt += 1;
+                if attempt > max_attempts {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name), accepted, config.cases
+                    );
+                }
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    attempt,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __case_desc = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&::std::format!("{:?}", &$arg));
+                        s.push_str("; ");
+                    )+
+                    s
+                };
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "proptest {} failed at attempt {} with {}\n{}",
+                        stringify!($name), attempt, __case_desc, msg
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::TestRng::for_case("x", 1);
+        let mut b = crate::TestRng::for_case("x", 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("x", 2);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0.0f64..2.5, k in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..2.5).contains(&y));
+            prop_assert!((1..=4).contains(&k));
+        }
+
+        #[test]
+        fn map_and_oneof_compose(v in prop_oneof![
+            (0u32..5).prop_map(|x| x * 2),
+            Just(99u32),
+        ]) {
+            prop_assert!(v == 99 || v % 2 == 0);
+        }
+
+        #[test]
+        fn vec_and_select(xs in prop::collection::vec(0u32..10, 1..8),
+                          pick in prop::sample::select(vec![1u8, 2, 3])) {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert!((1..=3).contains(&pick));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failure_reports_attempt_and_args() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+            fn always_fails(x in 0u32..5) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

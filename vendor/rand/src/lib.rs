@@ -1,0 +1,250 @@
+//! Offline vendored mini-`rand`.
+//!
+//! The build environment has no network access and no crates cache, so the
+//! real `rand` crate cannot be fetched. This crate implements the small
+//! API subset the workspace actually uses — `StdRng::seed_from_u64`,
+//! `Rng::gen`, `Rng::gen_bool`, `Rng::gen_range` over numeric ranges — on
+//! top of the public-domain xoshiro256++ generator seeded via splitmix64.
+//!
+//! Streams differ from upstream `rand`, but every consumer in this
+//! workspace only relies on *seeded determinism*, never on matching
+//! upstream's exact draws.
+
+pub mod rngs {
+    /// Deterministic 256-bit generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn step(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // splitmix64 expansion of the 64-bit seed into 256 bits of state.
+        let mut x = state;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        // xoshiro must not start from the all-zero state.
+        let s = if s == [0, 0, 0, 0] { [1, 2, 3, 4] } else { s };
+        StdRng { s }
+    }
+}
+
+#[inline]
+fn unit_f64(v: u64) -> f64 {
+    // Uniform in [0, 1) with 53 bits of precision.
+    (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A type that `Rng::gen` can produce uniformly.
+pub trait Standard: Sized {
+    fn from_u64(v: u64) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+impl Standard for u32 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        (v >> 32) as u32
+    }
+}
+impl Standard for bool {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v & 1 == 1
+    }
+}
+impl Standard for f64 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        unit_f64(v)
+    }
+}
+impl Standard for f32 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        (v >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// A range `Rng::gen_range` can sample from (subset of `SampleRange`).
+///
+/// The element type is an associated type (not a second generic parameter)
+/// so `{float}` / `{integer}` literal fallback still works at call sites
+/// like `gen_range(-0.05..0.05)`.
+pub trait SampleRange {
+    type Output;
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_with(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = next() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_with(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = next() as u128 % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_with(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let u = unit_f64(next()) as $t;
+                let v = self.start + (self.end - self.start) * u;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_with(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let u = unit_f64(next()) as $t;
+                start + (end - start) * u
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// The user-facing generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of a `Standard`-samplable type.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Uniform value in `range`.
+    #[inline]
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        let mut next = || self.next_u64();
+        range.sample_with(&mut next)
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(1.0f64..50.0);
+            assert!((1.0..50.0).contains(&v));
+            let i = rng.gen_range(0u32..3);
+            assert!(i < 3);
+            let k = rng.gen_range(1usize..=4);
+            assert!((1..=4).contains(&k));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "got {frac}");
+    }
+}

@@ -1,0 +1,390 @@
+//! Offline vendored mini-`serde`.
+//!
+//! The build environment has no network access, so the real `serde` crate
+//! cannot be fetched. This crate keeps the workspace's source-level API —
+//! `use serde::{Serialize, Deserialize}`, `#[derive(Serialize, Deserialize)]`,
+//! `#[serde(...)]` attributes — but implements it over a simple JSON-like
+//! value tree instead of serde's visitor architecture. `serde_json` (also
+//! vendored) prints and parses that tree.
+//!
+//! Supported attribute surface (everything this workspace uses):
+//! container: `transparent`, `rename_all = "lowercase" | "snake_case" |
+//! "kebab-case"`; field: `default`, `skip_serializing_if = "path"`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A JSON-like value tree — the serialization data model.
+///
+/// Integers keep their own variants so `u64` ids survive round-trips that
+/// would lose precision through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (field declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| DeError::msg(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(i).map_err(|_| DeError::msg(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let a = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        if a.len() != N {
+            return Err(DeError::msg(format!("expected {N} elements, got {}", a.len())));
+        }
+        let items: Vec<T> = a.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| DeError::msg("array length mismatch"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let a = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        if a.len() != 2 {
+            return Err(DeError::msg(format!("expected 2-tuple, got {} elems", a.len())));
+        }
+        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<K: ToString + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        // HashMap iteration order is unstable; sort for deterministic output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers the derive macro expands to
+// ---------------------------------------------------------------------------
+
+/// Internal support for `serde_derive`-generated code. Not a public API.
+pub mod __private {
+    use super::{DeError, Value};
+
+    /// Field lookup in an object body.
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn expect_obj<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::msg(format!("{ty}: expected object, got {}", v.kind())))
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> DeError {
+        DeError::msg(format!("{ty}: missing field `{field}`"))
+    }
+
+    pub fn unknown_variant(ty: &str, got: &str) -> DeError {
+        DeError::msg(format!("{ty}: unknown variant `{got}`"))
+    }
+}

@@ -1,0 +1,562 @@
+//! Offline vendored mini-`serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! value-tree traits. Implemented with hand-rolled `proc_macro` token
+//! walking (no `syn`/`quote` — they cannot be fetched offline either).
+//!
+//! Supported shapes: structs with named fields, tuple structs (newtype or
+//! `#[serde(transparent)]`), enums with unit / newtype / struct variants
+//! (externally tagged, like real serde). Supported attributes:
+//! `transparent`, `rename_all`, `default`, `skip_serializing_if`, `rename`.
+//! Generic types are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug, Clone)]
+struct SerdeAttrs {
+    transparent: bool,
+    rename_all: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+    rename: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String, // positional fields use their index as name
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    attrs: SerdeAttrs,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let attrs = parse_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            _ => Body::Struct(Fields::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    };
+
+    Item { name, attrs, body }
+}
+
+/// Consumes leading `#[...]` groups, returning the merged serde attributes.
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        parse_one_attr(g.stream(), &mut out);
+        *i += 2;
+    }
+    out
+}
+
+/// Merges `serde(...)` arguments from one `#[...]` body into `out`.
+fn parse_one_attr(stream: TokenStream, out: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comments, cfg, derive, ...
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else { return };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let key = match &args[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        // `kebab-case`-style idents arrive as ident/punct/ident triples only
+        // inside *string literals*, so plain idents are enough for keys.
+        let mut value: Option<String> = None;
+        if matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                value = Some(unquote(&lit.to_string()));
+                j += 2;
+            }
+        }
+        match key.as_str() {
+            "transparent" => out.transparent = true,
+            "default" => out.default = true,
+            "rename_all" => out.rename_all = value.clone(),
+            "skip_serializing_if" => out.skip_serializing_if = value.clone(),
+            "rename" => out.rename = value.clone(),
+            // Unknown keys (deny_unknown_fields, ...) are accepted and
+            // ignored; this stub only implements what the workspace uses.
+            _ => {}
+        }
+        j += 1;
+        // Skip a trailing comma.
+        if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// `a: T, pub b: U, ...` — names + per-field attrs; types are skipped
+/// (generated code recovers them through inference).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        // Skip `:` and the type, up to the next top-level comma. Generics in
+        // the type (`Vec<f64>`) never contain top-level commas because `<...>`
+        // comes through as punct sequences — so track angle depth.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// `(T, U)` — positional fields with optional attrs.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut index = 0usize;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        let mut saw_any = false;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => saw_any = true,
+            }
+            i += 1;
+        }
+        if saw_any {
+            fields.push(Field { name: index.to_string(), attrs });
+            index += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present, then the comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, attrs, fields });
+    }
+    variants
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// serde's `rename_all` word-splitting: break before every uppercase letter,
+/// then re-join in the requested case.
+fn apply_rename(name: &str, rule: Option<&str>) -> String {
+    let Some(rule) = rule else { return name.to_string() };
+    match rule {
+        "lowercase" => name.to_lowercase(),
+        "UPPERCASE" => name.to_uppercase(),
+        "snake_case" | "kebab-case" => {
+            let sep = if rule == "snake_case" { '_' } else { '-' };
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push(sep);
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        "camelCase" => {
+            let mut chars = name.chars();
+            match chars.next() {
+                Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        }
+        other => panic!("serde_derive: unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn field_key(f: &Field, container: &SerdeAttrs) -> String {
+    if let Some(r) = &f.attrs.rename {
+        return r.clone();
+    }
+    apply_rename(&f.name, container.rename_all.as_deref())
+}
+
+/// Fields of enum variants: `rename_all` on an enum renames *variants*, not
+/// their fields, so only an explicit field `rename` applies.
+fn variant_field_key(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+fn variant_key(v: &Variant, container: &SerdeAttrs) -> String {
+    if let Some(r) = &v.attrs.rename {
+        return r.clone();
+    }
+    apply_rename(&v.name, container.rename_all.as_deref())
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let key = field_key(f, &item.attrs);
+                let push = format!(
+                    "obj.push((::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    s += &format!("if !{pred}(&self.{}) {{ {push} }}\n", f.name);
+                } else {
+                    s += &push;
+                }
+            }
+            s += "::serde::Value::Object(obj)";
+            s
+        }
+        Body::Struct(Fields::Tuple(fields)) => {
+            if fields.len() == 1 {
+                // Newtype: transparent by default, matching real serde.
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..fields.len())
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+            }
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = variant_key(v, &item.attrs);
+                match &v.fields {
+                    Fields::Unit => {
+                        arms += &format!(
+                            "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{key}\")),\n",
+                            v = v.name
+                        );
+                    }
+                    Fields::Tuple(fs) if fs.len() == 1 => {
+                        arms += &format!(
+                            "{name}::{v}(x) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value(x))]),\n",
+                            v = v.name
+                        );
+                    }
+                    Fields::Tuple(fs) => {
+                        let binds: Vec<String> = (0..fs.len()).map(|i| format!("x{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms += &format!(
+                            "{name}::{v}({b}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{key}\"), ::serde::Value::Array(::std::vec![{e}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            e = elems.join(", ")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut vobj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fs {
+                            let fkey = variant_field_key(f);
+                            inner += &format!(
+                                "vobj.push((::std::string::String::from(\"{fkey}\"), ::serde::Serialize::to_value({})));\n",
+                                f.name
+                            );
+                        }
+                        arms += &format!(
+                            "{name}::{v} {{ {b} }} => {{ {inner} ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{key}\"), ::serde::Value::Object(vobj))]) }}\n",
+                            v = v.name,
+                            b = binds.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let mut s = format!("let obj = ::serde::__private::expect_obj(v, \"{name}\")?;\n");
+            s += &format!("::std::result::Result::Ok({name} {{\n");
+            for f in fields {
+                let key = field_key(f, &item.attrs);
+                let missing = if f.attrs.default || item.attrs.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::__private::missing_field(\"{name}\", \"{key}\"))"
+                    )
+                };
+                s += &format!(
+                    "{fname}: match ::serde::__private::get(obj, \"{key}\") {{ ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, ::std::option::Option::None => {missing} }},\n",
+                    fname = f.name
+                );
+            }
+            s += "})";
+            s
+        }
+        Body::Struct(Fields::Tuple(fields)) => {
+            if fields.len() == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let mut s = format!(
+                    "let arr = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", v))?;\n\
+                     if arr.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::msg(format!(\"{name}: expected {n} elements, got {{}}\", arr.len()))); }}\n",
+                    n = fields.len()
+                );
+                let elems: Vec<String> = (0..fields.len())
+                    .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                    .collect();
+                s += &format!("::std::result::Result::Ok({name}({}))", elems.join(", "));
+                s
+            }
+        }
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            // Externally tagged: unit variants are plain strings, data
+            // variants are single-key objects.
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let key = variant_key(v, &item.attrs);
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms += &format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        );
+                    }
+                    Fields::Tuple(fs) if fs.len() == 1 => {
+                        data_arms += &format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),\n",
+                            v = v.name
+                        );
+                    }
+                    Fields::Tuple(fs) => {
+                        let mut s = format!(
+                            "\"{key}\" => {{ let arr = payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", payload))?;\n\
+                             if arr.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::msg(::std::string::String::from(\"{name}::{v}: wrong tuple arity\"))); }}\n",
+                            n = fs.len(),
+                            v = v.name
+                        );
+                        let elems: Vec<String> = (0..fs.len())
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        s += &format!(
+                            "::std::result::Result::Ok({name}::{v}({e})) }}\n",
+                            v = v.name,
+                            e = elems.join(", ")
+                        );
+                        data_arms += &s;
+                    }
+                    Fields::Named(fs) => {
+                        let mut s = format!(
+                            "\"{key}\" => {{ let vobj = ::serde::__private::expect_obj(payload, \"{name}::{v}\")?;\n::std::result::Result::Ok({name}::{v} {{\n",
+                            v = v.name
+                        );
+                        for f in fs {
+                            let fkey = variant_field_key(f);
+                            let missing = if f.attrs.default {
+                                "::std::default::Default::default()".to_string()
+                            } else {
+                                format!(
+                                    "return ::std::result::Result::Err(::serde::__private::missing_field(\"{name}::{v}\", \"{fkey}\"))",
+                                    v = v.name
+                                )
+                            };
+                            s += &format!(
+                                "{fname}: match ::serde::__private::get(vobj, \"{fkey}\") {{ ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, ::std::option::Option::None => {missing} }},\n",
+                                fname = f.name
+                            );
+                        }
+                        s += "}) }\n";
+                        data_arms += &s;
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::__private::unknown_variant(\"{name}\", other)),\n}},\n\
+                 ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                 let (tag, payload) = (&o[0].0, &o[0].1);\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::__private::unknown_variant(\"{name}\", other)),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n {body}\n }}\n}}\n"
+    )
+}
