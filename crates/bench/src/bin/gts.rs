@@ -8,6 +8,9 @@
 //! gts trace --seed 7 --policy topo-aware-p
 //!                                         # replay a seeded workload and
 //!                                         # print every placement decision
+//! gts bench [--smoke] [--out BENCH_sched.json]
+//!                                         # microbench the placement
+//!                                         # engine and emit JSON
 //! ```
 
 use gts_bench::appendix::{AlgoConfig, SysConfig};
@@ -26,6 +29,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("trace") {
         return run_trace(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return run_bench(&args[1..]);
     }
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!("usage: gts <sys-config.json> [--json] | gts --sample-config");
@@ -82,6 +88,44 @@ fn main() -> ExitCode {
         ]);
     }
     print!("{t}");
+    ExitCode::SUCCESS
+}
+
+/// `gts bench`: run the placement-engine microbench suite and write
+/// `BENCH_sched.json`. `--smoke` shrinks sample counts for CI.
+fn run_bench(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut out = "BENCH_sched.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: gts bench [--smoke] [--out BENCH_sched.json]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = gts_bench::perfbench::run(smoke);
+    println!(
+        "arrival/topo64 speedup (sequential/engine, {} thread(s)): {:.2}x{}",
+        report.threads,
+        report.arrival_speedup,
+        if smoke { "  [smoke — not comparable]" } else { "" },
+    );
+    if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
     ExitCode::SUCCESS
 }
 

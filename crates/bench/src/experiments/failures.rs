@@ -8,6 +8,7 @@
 
 use super::fig10::mean;
 use super::minsky_cluster;
+use crate::parallel::par_map;
 use crate::table::{f, TextTable};
 use gts_core::prelude::*;
 use std::sync::Arc;
@@ -40,34 +41,33 @@ impl FailureSummary {
 pub fn run(n_jobs: usize, seed: u64, fail_at_s: f64) -> Vec<FailureSummary> {
     let (cluster, profiles) = minsky_cluster(5);
     let trace = WorkloadGenerator::with_defaults(seed).generate(n_jobs);
-    PolicyKind::ALL
-        .iter()
-        .map(|&kind| {
-            let clean = simulate(
-                Arc::clone(&cluster),
-                Arc::clone(&profiles),
-                Policy::new(kind),
-                trace.clone(),
-            );
-            let config = SimConfig::new(Policy::new(kind))
-                .with_machine_failures(vec![(fail_at_s, MachineId(2))]);
-            let failed = Simulation::new(
-                Arc::clone(&cluster),
-                Arc::clone(&profiles),
-                config,
-            )
-            .run(trace.clone());
-            let qos: Vec<f64> = failed.records.iter().map(|r| r.qos_slowdown()).collect();
-            FailureSummary {
-                kind,
-                makespan_clean_s: clean.makespan_s,
-                makespan_failed_s: failed.makespan_s,
-                restarted_jobs: failed.records.iter().filter(|r| r.restarts > 0).count(),
-                mean_qos_failed: mean(&qos),
-                slo_violations: failed.slo_violations,
-            }
-        })
-        .collect()
+    // Each policy's clean+failed simulation pair is independent — sweep
+    // them on the worker pool.
+    par_map(PolicyKind::ALL.to_vec(), |kind| {
+        let clean = simulate(
+            Arc::clone(&cluster),
+            Arc::clone(&profiles),
+            Policy::new(kind),
+            trace.clone(),
+        );
+        let config = SimConfig::new(Policy::new(kind))
+            .with_machine_failures(vec![(fail_at_s, MachineId(2))]);
+        let failed = Simulation::new(
+            Arc::clone(&cluster),
+            Arc::clone(&profiles),
+            config,
+        )
+        .run(trace.clone());
+        let qos: Vec<f64> = failed.records.iter().map(|r| r.qos_slowdown()).collect();
+        FailureSummary {
+            kind,
+            makespan_clean_s: clean.makespan_s,
+            makespan_failed_s: failed.makespan_s,
+            restarted_jobs: failed.records.iter().filter(|r| r.restarts > 0).count(),
+            mean_qos_failed: mean(&qos),
+            slo_violations: failed.slo_violations,
+        }
+    })
 }
 
 /// Renders the resilience table.

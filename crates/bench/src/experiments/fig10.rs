@@ -2,6 +2,7 @@
 //! distributions (QoS and QoS + waiting time).
 
 use super::{minsky_cluster, run_policy};
+use crate::parallel::par_map;
 use crate::table::{f, TextTable};
 use gts_core::prelude::*;
 
@@ -31,27 +32,26 @@ pub struct ScenarioSummary {
 pub fn run(n_jobs: usize, n_machines: usize, seed: u64) -> Vec<ScenarioSummary> {
     let (cluster, profiles) = minsky_cluster(n_machines);
     let trace = WorkloadGenerator::with_defaults(seed).generate(n_jobs);
-    PolicyKind::ALL
-        .iter()
-        .map(|&kind| {
-            let res = run_policy(&cluster, &profiles, kind, trace.clone());
-            let gpu_utilization = res.effective_gpu_utilization(cluster.n_gpus());
-            ScenarioSummary {
-                kind,
-                qos: res.qos_slowdowns_sorted().into_iter().map(|(_, s)| s).collect(),
-                qos_wait: res
-                    .qos_wait_slowdowns_sorted()
-                    .into_iter()
-                    .map(|(_, s)| s)
-                    .collect(),
-                slo_violations: res.slo_violations,
-                mean_wait_s: res.mean_waiting_s(),
-                makespan_s: res.makespan_s,
-                mean_decision_s: res.mean_decision_s,
-                gpu_utilization,
-            }
-        })
-        .collect()
+    // The four per-policy simulations are independent and deterministic —
+    // run them on the worker pool.
+    par_map(PolicyKind::ALL.to_vec(), |kind| {
+        let res = run_policy(&cluster, &profiles, kind, trace.clone());
+        let gpu_utilization = res.effective_gpu_utilization(cluster.n_gpus());
+        ScenarioSummary {
+            kind,
+            qos: res.qos_slowdowns_sorted().into_iter().map(|(_, s)| s).collect(),
+            qos_wait: res
+                .qos_wait_slowdowns_sorted()
+                .into_iter()
+                .map(|(_, s)| s)
+                .collect(),
+            slo_violations: res.slo_violations,
+            mean_wait_s: res.mean_waiting_s(),
+            makespan_s: res.makespan_s,
+            mean_decision_s: res.mean_decision_s,
+            gpu_utilization,
+        }
+    })
 }
 
 /// Deciles of a sorted (descending) series, worst first.

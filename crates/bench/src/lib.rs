@@ -10,6 +10,8 @@
 
 pub mod appendix;
 pub mod experiments;
+pub mod parallel;
+pub mod perfbench;
 pub mod table;
 
 pub use table::TextTable;

@@ -1,0 +1,74 @@
+//! Order-preserving parallel map for the sweep harnesses.
+//!
+//! The fig10/fig11/failures/validate experiments run independent
+//! simulations per `(seed, policy)` cell; each cell is deterministic, so
+//! running them on a scoped worker pool changes nothing but wall-clock.
+//! Thread count follows the evaluation engine's `GTS_EVAL_THREADS` knob —
+//! `1` makes every sweep serial again.
+
+use gts_core::prelude::EvalParams;
+
+/// Maps `f` over `items` on a scoped worker pool, returning results in
+/// input order. Serial when `GTS_EVAL_THREADS=1` or there is at most one
+/// item.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = EvalParams::from_env().threads;
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let n_workers = threads.min(n);
+    let (tx_work, rx_work) = crossbeam::channel::unbounded::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        if tx_work.send(pair).is_err() {
+            unreachable!("work queue closed before workers spawned");
+        }
+    }
+    drop(tx_work);
+    let (tx_out, rx_out) = crossbeam::channel::unbounded::<(usize, R)>();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            let rx_work = rx_work.clone();
+            let tx_out = tx_out.clone();
+            scope.spawn(move || {
+                while let Ok((i, item)) = rx_work.recv() {
+                    if tx_out.send((i, f(item))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx_out);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx_out.try_iter() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item mapped"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = par_map((0..64).collect::<Vec<u64>>(), |x| x * x);
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
+    }
+}

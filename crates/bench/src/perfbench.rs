@@ -1,0 +1,204 @@
+//! `gts bench` — microbenchmarks of the placement engine's hot paths.
+//!
+//! Three layers, timed with the vendored criterion harness and serialized
+//! to `BENCH_sched.json` so the perf trajectory is tracked in-repo:
+//!
+//! 1. **`drb_map`** — one Algorithm 2/3 mapping on an idle Minsky machine;
+//! 2. **`arrival`** — a full TOPO-AWARE `decide` on a 64-machine
+//!    mostly-idle cluster, sequential reference vs the memoized+parallel
+//!    engine (the ISSUE 2 acceptance measurement);
+//! 3. **`sim`** — a whole small fig10-style simulation under both paths.
+
+use crate::experiments::minsky_cluster;
+use criterion::{black_box, Criterion};
+use gts_core::prelude::*;
+use gts_core::sched::state::on_machine;
+use gts_core::sched::StateOracle;
+use std::sync::Arc;
+
+/// One benchmark's timings (mirrors `criterion::BenchRecord`, serializable
+/// with the vendored serde, which caps integers at `u64`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchEntry {
+    /// `group/name` label.
+    pub label: String,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: u64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Timed iterations.
+    pub samples: u64,
+}
+
+/// The `BENCH_sched.json` payload.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchReport {
+    /// Worker threads the engine ran with (`GTS_EVAL_THREADS`).
+    pub threads: u64,
+    /// True when run with `--smoke` (tiny sample counts; numbers are only
+    /// good for checking the harness, not for comparison).
+    pub smoke: bool,
+    /// Sequential-reference mean over engine mean for the 64-machine
+    /// mostly-idle TOPO-AWARE arrival (the headline speedup).
+    pub arrival_speedup: f64,
+    /// All benchmark timings.
+    pub results: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Pretty JSON for `BENCH_sched.json`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Mean nanoseconds of the entry with this label, if present.
+    pub fn mean_ns(&self, label: &str) -> Option<u64> {
+        self.results.iter().find(|e| e.label == label).map(|e| e.mean_ns)
+    }
+}
+
+/// A 64-machine Minsky cluster with a couple of tenants — the "mostly
+/// idle" arrival scenario where equivalence-class memoization collapses
+/// ~62 identical idle machines into one evaluation.
+fn mostly_idle_state(n_machines: usize) -> ClusterState {
+    let (cluster, profiles) = minsky_cluster(n_machines);
+    let mut state = ClusterState::new(cluster, profiles);
+    state.place(
+        JobSpec::new(9001, NnModel::AlexNet, BatchClass::Small, 2),
+        on_machine(MachineId(0), &[GpuId(0), GpuId(1)]),
+        1.0,
+    );
+    state.place(
+        JobSpec::new(9002, NnModel::GoogLeNet, BatchClass::Big, 1),
+        on_machine(MachineId(1), &[GpuId(0)]),
+        1.0,
+    );
+    state
+}
+
+/// Runs the full microbench suite. `smoke` shrinks sample counts to keep
+/// CI fast; the derived speedup is still computed (and asserted ≥ 1 by the
+/// smoke test, not by this function).
+pub fn run(smoke: bool) -> BenchReport {
+    let samples = if smoke { 3 } else { 40 };
+    let sim_samples = if smoke { 1 } else { 5 };
+    let mut c = Criterion::default().with_sample_size(samples);
+
+    // 1. drb_map on an idle machine, 2- and 4-GPU jobs.
+    let idle = {
+        let (cluster, profiles) = minsky_cluster(1);
+        ClusterState::new(cluster, profiles)
+    };
+    for width in [2u32, 4] {
+        let job = JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, width);
+        let graph = JobGraph::from_spec(&job);
+        let free = idle.free_gpus(MachineId(0));
+        let oracle = StateOracle::new(&idle, MachineId(0), &job);
+        c.bench_function(&format!("drb_map/minsky_{width}gpu"), |b| {
+            b.iter(|| {
+                black_box(
+                    drb_map(&graph, &free, &oracle, UtilityWeights::default()).unwrap(),
+                )
+            })
+        });
+    }
+
+    // 2. The headline: one TOPO-AWARE arrival on 64 mostly-idle machines.
+    let state = mostly_idle_state(64);
+    let job = JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, 2).with_min_utility(0.5);
+    let policy = Policy::new(PolicyKind::TopoAware);
+    let engine = EvalParams::from_env();
+    c.bench_function("arrival/topo64_sequential", |b| {
+        b.iter(|| black_box(policy.decide_with(&state, &job, EvalParams::sequential())))
+    });
+    c.bench_function("arrival/topo64_engine", |b| {
+        b.iter(|| black_box(policy.decide_with(&state, &job, engine)))
+    });
+
+    // 3. A whole small simulation (fig10-shaped) under both paths.
+    let mut c_sim = Criterion::default().with_sample_size(sim_samples);
+    let (cluster, profiles) = minsky_cluster(5);
+    let trace = WorkloadGenerator::with_defaults(1001).generate(if smoke { 20 } else { 60 });
+    for (label, eval) in [
+        ("fig10_slice_sequential", EvalParams::sequential()),
+        ("fig10_slice_engine", engine),
+    ] {
+        c_sim.bench_function(&format!("sim/{label}"), |b| {
+            b.iter(|| {
+                let config =
+                    SimConfig::new(Policy::new(PolicyKind::TopoAwareP)).with_eval(eval);
+                black_box(
+                    Simulation::new(Arc::clone(&cluster), Arc::clone(&profiles), config)
+                        .run(trace.clone()),
+                )
+            })
+        });
+    }
+
+    let mut results: Vec<BenchEntry> = c
+        .take_records()
+        .into_iter()
+        .chain(c_sim.take_records())
+        .map(|r| BenchEntry {
+            label: r.label,
+            mean_ns: r.mean_ns.min(u64::MAX as u128) as u64,
+            min_ns: r.min_ns.min(u64::MAX as u128) as u64,
+            samples: r.samples as u64,
+        })
+        .collect();
+    results.sort_by(|a, b| a.label.cmp(&b.label));
+
+    let report = BenchReport {
+        threads: engine.threads as u64,
+        smoke,
+        arrival_speedup: 0.0,
+        results,
+    };
+    let speedup = match (
+        report.mean_ns("arrival/topo64_sequential"),
+        report.mean_ns("arrival/topo64_engine"),
+    ) {
+        (Some(seq), Some(eng)) if eng > 0 => seq as f64 / eng as f64,
+        _ => 0.0,
+    };
+    BenchReport { arrival_speedup: speedup, ..report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_produces_all_entries_and_json() {
+        let report = run(true);
+        assert!(report.smoke);
+        for label in [
+            "drb_map/minsky_2gpu",
+            "drb_map/minsky_4gpu",
+            "arrival/topo64_sequential",
+            "arrival/topo64_engine",
+            "sim/fig10_slice_sequential",
+            "sim/fig10_slice_engine",
+        ] {
+            assert!(
+                report.mean_ns(label).is_some_and(|ns| ns > 0),
+                "missing or empty bench {label}"
+            );
+        }
+        assert!(report.arrival_speedup > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("arrival_speedup"));
+        assert!(json.contains("topo64_engine"));
+    }
+
+    #[test]
+    fn engine_and_sequential_pick_the_same_placement() {
+        let state = mostly_idle_state(64);
+        let job =
+            JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, 2).with_min_utility(0.5);
+        let policy = Policy::new(PolicyKind::TopoAware);
+        let seq = policy.decide_with(&state, &job, EvalParams::sequential());
+        let eng = policy.decide_with(&state, &job, EvalParams::parallel(4));
+        assert_eq!(seq, eng);
+    }
+}

@@ -181,7 +181,7 @@ impl Prototype {
 
         // The daemon loop itself.
         let state = ClusterState::new(Arc::clone(&self.cluster), Arc::clone(&self.profiles));
-        let mut scheduler = Scheduler::new(state, SchedulerConfig { policy: self.config.policy });
+        let mut scheduler = Scheduler::new(state, SchedulerConfig::new(self.config.policy));
         let mut placed_at: HashMap<JobId, f64> = HashMap::new();
         let mut records: Vec<JobRecord> = Vec::new();
         let mut cancelled_jobs: Vec<JobId> = Vec::new();

@@ -1,0 +1,383 @@
+//! The placement evaluation engine: memoized + parallel candidate scoring
+//! for the `TOPO-AWARE(-P)` policies.
+//!
+//! The naive Algorithm 1 arrival cost is one full Algorithm 2/3 DRB
+//! mapping per feasible machine — linear in cluster size. Two observations
+//! make it sublinear in practice:
+//!
+//! 1. **Equivalence classes.** A candidate evaluation is a pure function
+//!    of `(machine topology class, free-GPU set, per-socket committed
+//!    bandwidth, co-runner signature)` — the machine *id* never enters
+//!    Eq. 2–5. On a mostly-idle homogeneous cluster almost every machine
+//!    collapses into a handful of classes, so the engine runs one DRB
+//!    mapping per *class* and fans the result out to every member.
+//! 2. **Parallel representatives.** The per-class evaluations are
+//!    independent, so they run on a scoped worker pool. Results return to
+//!    indexed slots, making the reduction deterministic regardless of
+//!    thread interleaving; together with the oracle's canonical co-runner
+//!    order this keeps every utility bit-identical to the sequential
+//!    reference (`GTS_EVAL_THREADS=1`).
+//!
+//! The engine never changes *which* candidate wins: the policy's
+//! tie-breaking (`FRAG_TIE_EPS` + Eq. 5) runs sequentially over the
+//! fanned-out per-candidate outcomes in original candidate order.
+
+use crate::oracle::{placement_utility, StateOracle};
+use crate::state::ClusterState;
+use gts_job::{BatchClass, JobGraph, JobSpec, NnModel};
+use gts_map::{drb_map, PlacementOracle as _, UtilityWeights};
+use gts_topo::{GpuId, MachineId};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Spawning threads for a couple of representatives costs more than the
+/// evaluations; below this many distinct classes the engine stays on the
+/// caller's thread (memoization still applies).
+const MIN_PARALLEL_CLASSES: usize = 4;
+
+/// Evaluation-engine parameters, threaded from the drivers down to
+/// [`crate::Policy::decide_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalParams {
+    /// Worker threads for candidate evaluation. `1` selects the sequential
+    /// reference path: every candidate is evaluated in order with no
+    /// memoization, exactly as the pre-engine scheduler did.
+    pub threads: usize,
+}
+
+impl EvalParams {
+    /// The sequential reference: candidates evaluated one by one, no
+    /// memoization, no worker pool.
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The engine with an explicit worker count (`≥ 2`; clamped up).
+    pub fn parallel(threads: usize) -> Self {
+        Self { threads: threads.max(2) }
+    }
+
+    /// Reads `GTS_EVAL_THREADS` (cached after the first read). Unset or
+    /// unparsable values default to the host's available parallelism, with
+    /// a floor of 2 so the memoized engine stays on even on single-core
+    /// hosts — the memoization wins are independent of thread count.
+    pub fn from_env() -> Self {
+        static CACHED: OnceLock<usize> = OnceLock::new();
+        let threads = *CACHED.get_or_init(|| {
+            match std::env::var("GTS_EVAL_THREADS") {
+                Ok(v) => match v.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => default_threads(),
+                },
+                Err(_) => default_threads(),
+            }
+        });
+        Self { threads }
+    }
+
+    /// True when this selects the sequential reference path.
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+}
+
+impl Default for EvalParams {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
+}
+
+/// What evaluating one candidate machine produced.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CandidateOutcome {
+    /// DRB found no mapping on this machine.
+    NoMapping,
+    /// A mapping exists but violates the §4.3 bandwidth constraint.
+    RejectedBandwidth {
+        /// The rejected GPU pick.
+        gpus: Vec<GpuId>,
+    },
+    /// A feasible placement with its Eq. 2 utility and Eq. 5
+    /// fragmentation-after.
+    Feasible {
+        /// Machine-local GPUs, in task order.
+        gpus: Vec<GpuId>,
+        /// Normalized Eq. 2 utility.
+        utility: f64,
+        /// Eq. 5 fragmentation the machine would be left with.
+        frag_after: f64,
+    },
+}
+
+/// The memoization key: every input the per-candidate evaluation depends
+/// on, with floats captured by bit pattern so `Eq`/`Hash` are exact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ClassKey {
+    /// Topology class ([`gts_topo::ClusterTopology::machine_class`]).
+    topo_class: u32,
+    /// Free-GPU bitmask.
+    free_mask: u128,
+    /// Per-socket committed bandwidth, bit patterns.
+    bw_bits: Vec<u64>,
+    /// Co-runner signature, canonically sorted: `(model, batch, local GPU
+    /// bitmask)` per running job on the machine.
+    corunners: Vec<(NnModel, BatchClass, u128)>,
+}
+
+impl ClassKey {
+    fn of(state: &ClusterState, machine: MachineId) -> Self {
+        let bw_bits = state
+            .socket_bw_used(machine)
+            .iter()
+            .map(|b| b.to_bits())
+            .collect();
+        let mut corunners: Vec<(NnModel, BatchClass, u128)> = state
+            .running_on(machine)
+            .iter()
+            .map(|alloc| {
+                let mut mask = 0u128;
+                for g in alloc.gpus_on(machine) {
+                    mask |= 1u128 << g.index();
+                }
+                (alloc.spec.model, alloc.spec.batch, mask)
+            })
+            .collect();
+        corunners.sort_unstable();
+        Self {
+            topo_class: state.cluster().machine_class(machine),
+            free_mask: state.free_mask_bits(machine),
+            bw_bits,
+            corunners,
+        }
+    }
+}
+
+/// Evaluates one candidate machine for `job`: DRB mapping, bandwidth
+/// check, utility and fragmentation-after. Pure in the cluster state.
+fn evaluate_one(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    machine: MachineId,
+) -> CandidateOutcome {
+    let free = state.free_gpus(machine);
+    let oracle = StateOracle::new(state, machine, job);
+    let Ok(gpus) = drb_map(graph, &free, &oracle, weights) else {
+        return CandidateOutcome::NoMapping;
+    };
+    if !state.fits_bw(machine, &gpus, job.bw_demand_gbs) {
+        return CandidateOutcome::RejectedBandwidth { gpus };
+    }
+    let frag_after = oracle.fragmentation_after(&gpus);
+    let utility = placement_utility(state, machine, job, &gpus, weights);
+    CandidateOutcome::Feasible { gpus, utility, frag_after }
+}
+
+/// Evaluates every candidate machine, returning outcomes in candidate
+/// order. `params.threads == 1` is the sequential reference; otherwise
+/// candidates are deduplicated into equivalence classes and one
+/// representative per class is evaluated (in parallel when there are
+/// enough classes to pay for the threads).
+pub(crate) fn evaluate_topo_candidates(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    candidates: &[MachineId],
+    params: EvalParams,
+) -> Vec<CandidateOutcome> {
+    if params.is_sequential() || candidates.len() < 2 {
+        return candidates
+            .iter()
+            .map(|&m| evaluate_one(state, job, graph, weights, m))
+            .collect();
+    }
+
+    // Group candidates into equivalence classes; the first member of each
+    // class is its representative.
+    let mut class_of: Vec<usize> = Vec::with_capacity(candidates.len());
+    let mut reps: Vec<MachineId> = Vec::new();
+    let mut index: HashMap<ClassKey, usize> = HashMap::new();
+    for &m in candidates {
+        let class = *index.entry(ClassKey::of(state, m)).or_insert_with(|| {
+            reps.push(m);
+            reps.len() - 1
+        });
+        class_of.push(class);
+    }
+
+    let rep_outcomes: Vec<CandidateOutcome> =
+        if reps.len() >= MIN_PARALLEL_CLASSES && params.threads > 1 {
+            evaluate_parallel(state, job, graph, weights, &reps, params.threads)
+        } else {
+            reps.iter()
+                .map(|&m| evaluate_one(state, job, graph, weights, m))
+                .collect()
+        };
+
+    // Fan each class result out to its members, preserving candidate order.
+    class_of
+        .into_iter()
+        .map(|c| rep_outcomes[c].clone())
+        .collect()
+}
+
+/// Evaluates the representatives on a scoped worker pool. A shared
+/// `crossbeam` channel serves as the work queue; results land in indexed
+/// slots so the output order is the input order, independent of thread
+/// scheduling.
+fn evaluate_parallel(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    reps: &[MachineId],
+    threads: usize,
+) -> Vec<CandidateOutcome> {
+    let n_workers = threads.min(reps.len());
+    let (tx_work, rx_work) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..reps.len() {
+        tx_work.send(i).expect("work queue open");
+    }
+    drop(tx_work);
+    let (tx_out, rx_out) = crossbeam::channel::unbounded::<(usize, CandidateOutcome)>();
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            let rx_work = rx_work.clone();
+            let tx_out = tx_out.clone();
+            scope.spawn(move || {
+                while let Ok(i) = rx_work.recv() {
+                    let outcome = evaluate_one(state, job, graph, weights, reps[i]);
+                    if tx_out.send((i, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx_out);
+    let mut slots: Vec<Option<CandidateOutcome>> = vec![None; reps.len()];
+    for (i, outcome) in rx_out.try_iter() {
+        slots[i] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every representative evaluated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::on_machine;
+    use gts_perf::ProfileLibrary;
+    use gts_topo::{power8_minsky, ClusterTopology};
+    use std::sync::Arc;
+
+    fn state(n_machines: usize) -> ClusterState {
+        let machine = power8_minsky();
+        let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+        let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+        ClusterState::new(cluster, profiles)
+    }
+
+    fn job(id: u64, gpus: u32) -> JobSpec {
+        JobSpec::new(id, NnModel::AlexNet, BatchClass::Tiny, gpus).with_min_utility(0.5)
+    }
+
+    fn outcomes(s: &ClusterState, j: &JobSpec, params: EvalParams) -> Vec<CandidateOutcome> {
+        let graph = JobGraph::from_spec(j);
+        let candidates = s.machines_with_capacity(j.n_gpus as usize);
+        evaluate_topo_candidates(s, j, &graph, UtilityWeights::default(), &candidates, params)
+    }
+
+    #[test]
+    fn env_knob_parses_and_clamps() {
+        assert!(EvalParams::sequential().is_sequential());
+        assert!(!EvalParams::parallel(1).is_sequential());
+        assert_eq!(EvalParams::parallel(1).threads, 2);
+        assert_eq!(EvalParams::parallel(8).threads, 8);
+    }
+
+    #[test]
+    fn engine_matches_sequential_reference_bitwise() {
+        let mut s = state(12);
+        // Differentiate a few machines so several classes exist.
+        s.place(job(100, 2), on_machine(MachineId(0), &[GpuId(0), GpuId(1)]), 1.0);
+        s.place(job(101, 1), on_machine(MachineId(1), &[GpuId(2)]), 1.0);
+        s.place(
+            JobSpec::new(102, NnModel::GoogLeNet, BatchClass::Big, 1),
+            on_machine(MachineId(2), &[GpuId(0)]),
+            1.0,
+        );
+        let j = job(0, 2);
+        let seq = outcomes(&s, &j, EvalParams::sequential());
+        let par = outcomes(&s, &j, EvalParams::parallel(4));
+        assert_eq!(seq.len(), 12);
+        assert_eq!(seq, par);
+        // Bit-exact utilities, not just PartialEq-equal.
+        for (a, b) in seq.iter().zip(&par) {
+            if let (
+                CandidateOutcome::Feasible { utility: ua, frag_after: fa, .. },
+                CandidateOutcome::Feasible { utility: ub, frag_after: fb, .. },
+            ) = (a, b)
+            {
+                assert_eq!(ua.to_bits(), ub.to_bits());
+                assert_eq!(fa.to_bits(), fb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn idle_identical_machines_collapse_to_one_class() {
+        let s = state(16);
+        let candidates = s.machines_with_capacity(2);
+        let mut keys: Vec<ClassKey> = candidates
+            .iter()
+            .map(|&m| ClassKey::of(&s, m))
+            .collect();
+        keys.dedup();
+        assert_eq!(keys.len(), 1, "an idle homogeneous cluster is one class");
+    }
+
+    #[test]
+    fn class_key_separates_occupancy_and_corunners() {
+        let mut s = state(3);
+        s.place(job(100, 1), on_machine(MachineId(1), &[GpuId(0)]), 1.0);
+        s.place(
+            JobSpec::new(101, NnModel::GoogLeNet, BatchClass::Tiny, 1),
+            on_machine(MachineId(2), &[GpuId(0)]),
+            1.0,
+        );
+        let k0 = ClassKey::of(&s, MachineId(0));
+        let k1 = ClassKey::of(&s, MachineId(1));
+        let k2 = ClassKey::of(&s, MachineId(2));
+        assert_ne!(k0, k1, "occupancy differs");
+        assert_ne!(k1, k2, "co-runner model differs at equal occupancy");
+    }
+
+    #[test]
+    fn corunner_signature_ignores_job_ids() {
+        // Same model/batch/GPUs under different job ids → same class.
+        let mut s = state(2);
+        s.place(job(7, 1), on_machine(MachineId(0), &[GpuId(0)]), 1.0);
+        s.place(job(900, 1), on_machine(MachineId(1), &[GpuId(0)]), 1.0);
+        assert_eq!(ClassKey::of(&s, MachineId(0)), ClassKey::of(&s, MachineId(1)));
+    }
+
+    #[test]
+    fn down_machines_never_reach_the_engine_but_key_safely() {
+        let mut s = state(2);
+        s.set_machine_down(MachineId(1), true);
+        let k = ClassKey::of(&s, MachineId(1));
+        assert_eq!(k.free_mask, 0);
+    }
+}

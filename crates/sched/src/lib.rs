@@ -6,6 +6,9 @@
 //!   running jobs and their §4.2 profiles);
 //! * [`oracle`] — the [`gts_map::PlacementOracle`] backed by that state:
 //!   Eq. 4 interference prediction and Eq. 5 fragmentation;
+//! * [`eval`] — the memoized + parallel candidate-evaluation engine behind
+//!   `TOPO-AWARE(-P)`: equivalence-class deduplication, a scoped worker
+//!   pool, and the `GTS_EVAL_THREADS` knob;
 //! * [`policy`] — the four evaluated policies: `TOPO-AWARE`,
 //!   `TOPO-AWARE-P` (postponing), `FCFS` and Best-Fit (`BF`);
 //! * [`scheduler`] — the Algorithm 1 loop: arrival-ordered queue, host
@@ -17,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod enforcement;
+pub mod eval;
 pub mod oracle;
 pub mod overhead;
 pub mod policy;
@@ -26,6 +30,7 @@ pub mod state;
 pub mod trace;
 
 pub use enforcement::{launch_plan, LaunchPlan};
+pub use eval::EvalParams;
 pub use oracle::StateOracle;
 pub use overhead::DecisionStats;
 pub use policy::{Policy, PolicyKind};

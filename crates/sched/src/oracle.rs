@@ -12,11 +12,20 @@ use gts_perf::domain_factor;
 use gts_topo::{GpuId, MachineId, MachineTopology};
 
 /// Oracle for one candidate machine, carrying the job being placed.
+///
+/// Co-runners are captured once at construction — `drb_map` probes
+/// `interference` many times per candidate, and re-walking the running-job
+/// table on every probe dominated the old per-arrival cost. They are held
+/// in *canonical* order (sorted by `(model, batch, local GPU set)` rather
+/// than job id) so that machines in the same evaluation-engine equivalence
+/// class sum the Eq. 4 terms in exactly the same order and produce
+/// bit-identical utilities regardless of which job ids happen to run there.
 pub struct StateOracle<'a> {
     state: &'a ClusterState,
     machine: MachineId,
     topo: &'a MachineTopology,
     candidate: &'a JobProfile,
+    corunners: Vec<(JobProfile, Vec<GpuId>)>,
 }
 
 impl<'a> StateOracle<'a> {
@@ -24,20 +33,25 @@ impl<'a> StateOracle<'a> {
     pub fn new(state: &'a ClusterState, machine: MachineId, job: &JobSpec) -> Self {
         let topo = state.cluster().machine(machine);
         let candidate = state.profiles().get(job.model, job.batch);
-        Self { state, machine, topo, candidate }
+        let mut corunners: Vec<(JobProfile, Vec<GpuId>)> = state
+            .running_on(machine)
+            .iter()
+            .map(|alloc| (*alloc.profile(state.profiles()), alloc.gpus_on(machine)))
+            .collect();
+        corunners.sort_by(|(pa, ga), (pb, gb)| {
+            (pa.model, pa.batch, ga).cmp(&(pb.model, pb.batch, gb))
+        });
+        Self { state, machine, topo, candidate, corunners }
     }
 
     /// Eq. 4 over the candidate placement: mean of `solo/collocated` ratios
     /// of this job and every running job on the machine, with domain
     /// factors derived from actual GPU sets.
     fn eq4(&self, gpus: &[GpuId]) -> f64 {
-        let running = self.state.running_on(self.machine);
-        let corunners: Vec<(JobProfile, f64)> = running
+        let corunners: Vec<(JobProfile, f64)> = self
+            .corunners
             .iter()
-            .map(|alloc| {
-                let factor = domain_factor(self.topo, gpus, &alloc.gpus_on(self.machine));
-                (*alloc.profile(self.state.profiles()), factor)
-            })
+            .map(|(profile, local)| (*profile, domain_factor(self.topo, gpus, local)))
             .collect();
         self.candidate.eq4_interference(&corunners)
     }

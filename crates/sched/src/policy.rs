@@ -13,11 +13,12 @@
 //!   variant additionally *postpones* jobs whose best utility falls below
 //!   their `min_utility` SLO.
 
+use crate::eval::{evaluate_topo_candidates, CandidateOutcome, EvalParams};
 use crate::oracle::{placement_components, placement_utility, StateOracle};
 use crate::state::{on_machine, ClusterState};
 use crate::trace::{CandidateEval, EvalOutcome};
 use gts_job::{JobGraph, JobSpec};
-use gts_map::{drb_map, UtilityWeights};
+use gts_map::UtilityWeights;
 use gts_topo::{GlobalGpuId, GpuId, MachineId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -91,9 +92,22 @@ pub struct Decision {
 
 impl Policy {
     /// Proposes a placement for `job`, or `None` when no feasible set of
-    /// GPUs exists right now. Never mutates state.
+    /// GPUs exists right now. Never mutates state. Evaluation-engine
+    /// parameters come from the environment ([`EvalParams::from_env`]).
     pub fn decide(&self, state: &ClusterState, job: &JobSpec) -> Option<Decision> {
-        self.decide_impl(state, job, None)
+        self.decide_impl(state, job, None, EvalParams::from_env())
+    }
+
+    /// [`Policy::decide`] with explicit evaluation-engine parameters —
+    /// `EvalParams::sequential()` selects the reference path the engine is
+    /// proven bit-identical to.
+    pub fn decide_with(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        params: EvalParams,
+    ) -> Option<Decision> {
+        self.decide_impl(state, job, None, params)
     }
 
     /// Like [`Policy::decide`], but records every candidate machine the
@@ -106,7 +120,18 @@ impl Policy {
         job: &JobSpec,
         evals: &mut Vec<CandidateEval>,
     ) -> Option<Decision> {
-        self.decide_impl(state, job, Some(evals))
+        self.decide_impl(state, job, Some(evals), EvalParams::from_env())
+    }
+
+    /// [`Policy::decide_traced`] with explicit evaluation-engine parameters.
+    pub fn decide_traced_with(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        evals: &mut Vec<CandidateEval>,
+        params: EvalParams,
+    ) -> Option<Decision> {
+        self.decide_impl(state, job, Some(evals), params)
     }
 
     fn record_eval(
@@ -148,6 +173,7 @@ impl Policy {
         state: &ClusterState,
         job: &JobSpec,
         mut trace: Option<&mut Vec<CandidateEval>>,
+        params: EvalParams,
     ) -> Option<Decision> {
         if job.constraints.anti_collocate && job.n_gpus > 1 {
             let decision = self.decide_anti_collocated(state, job);
@@ -235,44 +261,52 @@ impl Policy {
             }
             PolicyKind::TopoAware | PolicyKind::TopoAwareP => {
                 let graph = JobGraph::from_spec(job);
+                let outcomes = evaluate_topo_candidates(
+                    state,
+                    job,
+                    &graph,
+                    self.weights,
+                    &candidates,
+                    params,
+                );
                 let mut feasible: Vec<(Decision, f64, usize)> = Vec::new();
-                for &machine in &candidates {
-                    let free = state.free_gpus(machine);
-                    let oracle = StateOracle::new(state, machine, job);
-                    let Ok(gpus) = drb_map(&graph, &free, &oracle, self.weights) else {
-                        self.record_eval(
-                            &mut trace,
-                            state,
-                            job,
-                            machine,
-                            &[],
-                            EvalOutcome::NoMapping,
-                        );
-                        continue;
-                    };
-                    if !state.fits_bw(machine, &gpus, job.bw_demand_gbs) {
-                        self.record_eval(
-                            &mut trace,
-                            state,
-                            job,
-                            machine,
-                            &gpus,
-                            EvalOutcome::RejectedBandwidth,
-                        );
-                        continue;
+                for (&machine, outcome) in candidates.iter().zip(outcomes) {
+                    match outcome {
+                        CandidateOutcome::NoMapping => {
+                            self.record_eval(
+                                &mut trace,
+                                state,
+                                job,
+                                machine,
+                                &[],
+                                EvalOutcome::NoMapping,
+                            );
+                        }
+                        CandidateOutcome::RejectedBandwidth { gpus } => {
+                            self.record_eval(
+                                &mut trace,
+                                state,
+                                job,
+                                machine,
+                                &gpus,
+                                EvalOutcome::RejectedBandwidth,
+                            );
+                        }
+                        CandidateOutcome::Feasible { gpus, utility, frag_after } => {
+                            self.record_eval(
+                                &mut trace,
+                                state,
+                                job,
+                                machine,
+                                &gpus,
+                                EvalOutcome::Outscored,
+                            );
+                            let eval_idx =
+                                trace.as_deref().map(|t| t.len() - 1).unwrap_or(0);
+                            let d = Decision { gpus: on_machine(machine, &gpus), utility };
+                            feasible.push((d, frag_after, eval_idx));
+                        }
                     }
-                    self.record_eval(
-                        &mut trace,
-                        state,
-                        job,
-                        machine,
-                        &gpus,
-                        EvalOutcome::Outscored,
-                    );
-                    let eval_idx = trace.as_deref().map(|t| t.len() - 1).unwrap_or(0);
-                    let frag = fragmentation_after(state, machine, job, &gpus);
-                    let d = self.seal(state, job, machine, gpus);
-                    feasible.push((d, frag, eval_idx));
                 }
                 let winner = select_candidate(&feasible, job.min_utility)?;
                 let (d, _, winner_idx) = feasible.swap_remove(winner);
@@ -310,12 +344,16 @@ impl Policy {
     fn decide_anti_collocated(&self, state: &ClusterState, job: &JobSpec) -> Option<Decision> {
         let n = job.n_gpus as usize;
         let per_task_bw = job.bw_demand_gbs / n as f64;
-        let mut hosts: Vec<MachineId> = state
+        // One free-GPU query per machine: the first free GPU doubles as the
+        // bandwidth probe and the eventual grant, and a machine whose
+        // capacity vanished between queries simply drops out instead of
+        // panicking on an empty free list.
+        let mut hosts: Vec<(MachineId, GpuId)> = state
             .machines_with_capacity(1)
             .into_iter()
-            .filter(|&m| {
-                let free = state.free_gpus(m);
-                state.fits_bw(m, &free[..1], per_task_bw)
+            .filter_map(|m| {
+                let first = state.first_free_gpu(m)?;
+                state.fits_bw(m, &[first], per_task_bw).then_some((m, first))
             })
             .collect();
         if hosts.len() < n {
@@ -323,22 +361,27 @@ impl Policy {
         }
         match self.kind {
             PolicyKind::Fcfs => {}
-            PolicyKind::BestFit => hosts.sort_by_key(|&m| (state.free_count(m), m)),
+            PolicyKind::BestFit => {
+                hosts.sort_by_key(|&(m, _)| (state.free_count(m), m));
+            }
             PolicyKind::TopoAware | PolicyKind::TopoAwareP => {
                 // Prefer machines where the task will feel the least
-                // interference.
-                hosts.sort_by(|&a, &b| {
-                    let ia = StateOracle::new(state, a, job)
-                        .interference_of_first_free(state, a);
-                    let ib = StateOracle::new(state, b, job)
-                        .interference_of_first_free(state, b);
-                    ib.partial_cmp(&ia).expect("finite").then(a.cmp(&b))
+                // interference; score each host once, then sort.
+                let mut scored: Vec<(f64, MachineId, GpuId)> = hosts
+                    .into_iter()
+                    .map(|(m, g)| {
+                        (StateOracle::new(state, m, job).interference_one(&[g]), m, g)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1))
                 });
+                hosts = scored.into_iter().map(|(_, m, g)| (m, g)).collect();
             }
         }
         let gpus: Vec<GlobalGpuId> = hosts[..n]
             .iter()
-            .map(|&m| GlobalGpuId { machine: m, gpu: state.free_gpus(m)[0] })
+            .map(|&(machine, gpu)| GlobalGpuId { machine, gpu })
             .collect();
         // Utility: communication crosses the network by construction, so
         // u_cc uses the cluster-level best (which equals the actual for a
@@ -440,15 +483,6 @@ fn best_fit_gpus(state: &ClusterState, machine: MachineId, n: usize) -> Vec<GpuI
 }
 
 impl StateOracle<'_> {
-    /// Interference the job would feel on the machine's first free GPU —
-    /// used to rank hosts for anti-collocated tasks.
-    fn interference_of_first_free(&self, state: &ClusterState, machine: MachineId) -> f64 {
-        match state.free_gpus(machine).first() {
-            Some(&g) => self.interference_one(&[g]),
-            None => 0.0,
-        }
-    }
-
     /// Public-ish shim over `PlacementOracle::interference` for policy code.
     pub(crate) fn interference_one(&self, gpus: &[GpuId]) -> f64 {
         use gts_map::PlacementOracle as _;

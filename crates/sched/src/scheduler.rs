@@ -16,6 +16,7 @@
 //! (`gts-proto`), which call [`Scheduler::run_iteration`] whenever a job
 //! arrives or finishes ("wakeup after an event").
 
+use crate::eval::EvalParams;
 use crate::overhead::DecisionStats;
 use crate::policy::Policy;
 use crate::state::{Allocation, ClusterState};
@@ -29,6 +30,16 @@ use std::time::Instant;
 pub struct SchedulerConfig {
     /// The placement policy to run.
     pub policy: Policy,
+    /// Candidate-evaluation engine parameters.
+    pub eval: EvalParams,
+}
+
+impl SchedulerConfig {
+    /// Config with the environment-selected evaluation engine
+    /// ([`EvalParams::from_env`]).
+    pub fn new(policy: Policy) -> Self {
+        Self { policy, eval: EvalParams::from_env() }
+    }
 }
 
 /// What happened to one job during a scheduler iteration.
@@ -76,6 +87,7 @@ pub enum CancelOutcome {
 #[derive(Debug)]
 pub struct Scheduler {
     policy: Policy,
+    eval: EvalParams,
     state: ClusterState,
     queue: WaitQueue,
     stats: DecisionStats,
@@ -91,6 +103,7 @@ impl Scheduler {
     pub fn new(state: ClusterState, config: SchedulerConfig) -> Self {
         Self {
             policy: config.policy,
+            eval: config.eval,
             state,
             queue: WaitQueue::new(),
             stats: DecisionStats::new(),
@@ -239,7 +252,9 @@ impl Scheduler {
             let started = Instant::now();
             let decision = if self.tracing {
                 let mut evals = Vec::new();
-                let d = self.policy.decide_traced(&self.state, &job, &mut evals);
+                let d = self
+                    .policy
+                    .decide_traced_with(&self.state, &job, &mut evals, self.eval);
                 if !evals.is_empty() {
                     self.trace.push(TraceEvent::Evaluated {
                         t_s: self.now_s,
@@ -249,7 +264,7 @@ impl Scheduler {
                 }
                 d
             } else {
-                self.policy.decide(&self.state, &job)
+                self.policy.decide_with(&self.state, &job, self.eval)
             };
             self.stats.record(started.elapsed());
 
@@ -367,7 +382,7 @@ mod tests {
         let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
         Scheduler::new(
             ClusterState::new(cluster, profiles),
-            SchedulerConfig { policy: Policy::new(kind) },
+            SchedulerConfig::new(Policy::new(kind)),
         )
     }
 

@@ -58,12 +58,31 @@ impl Allocation {
 pub const DEFAULT_SOCKET_BW_GBS: f64 = 115.0;
 
 /// Free/busy GPU bookkeeping across the cluster plus the running-job table.
+///
+/// The boolean bitmap `free` is the ground truth; `free_mask`,
+/// `socket_free` and `jobs_on` are incremental caches maintained on every
+/// `place`/`release` so the per-candidate hot-path queries
+/// ([`ClusterState::free_gpus`], [`ClusterState::free_count`],
+/// [`ClusterState::socket_occupancy`], [`ClusterState::running_on`]) cost
+/// a bitmask read instead of a recomputation. [`ClusterState::audit`]
+/// re-derives every cache from the ground truth.
 #[derive(Debug, Clone)]
 pub struct ClusterState {
     cluster: Arc<ClusterTopology>,
     profiles: Arc<ProfileLibrary>,
-    /// `free[machine][gpu]` — GPU availability bitmaps.
+    /// `free[machine][gpu]` — GPU availability bitmaps (ground truth).
     free: Vec<Vec<bool>>,
+    /// Per-machine free-GPU bitmask (bit `g` set ⇔ GPU `g` free); mirrors
+    /// `free` incrementally. Machines are capped at 128 GPUs.
+    free_mask: Vec<u128>,
+    /// `socket_free[machine][socket]` — free-GPU counters per socket,
+    /// mirrors `free` incrementally (the Eq. 5 input).
+    socket_free: Vec<Vec<u32>>,
+    /// `socket_total[machine][socket]` — GPUs per socket (immutable).
+    socket_total: Vec<Vec<u32>>,
+    /// Job ids holding at least one GPU on each machine, unordered;
+    /// mirrors `running` incrementally.
+    jobs_on: Vec<Vec<JobId>>,
     /// `bw_used[machine][socket]` — committed memory bandwidth, GB/s (§4.3's
     /// `t_bw ≤ p_bw` constraint).
     bw_used: Vec<Vec<f64>>,
@@ -79,10 +98,28 @@ impl ClusterState {
     /// Fresh state: everything free, nothing running, default socket
     /// bandwidth capacity.
     pub fn new(cluster: Arc<ClusterTopology>, profiles: Arc<ProfileLibrary>) -> Self {
-        let free = cluster
+        let free: Vec<Vec<bool>> = cluster
             .machines()
             .map(|m| vec![true; cluster.machine(m).n_gpus()])
             .collect();
+        let free_mask = free
+            .iter()
+            .map(|gpus| {
+                assert!(gpus.len() <= 128, "machines are capped at 128 GPUs");
+                full_mask(gpus.len())
+            })
+            .collect();
+        let socket_total: Vec<Vec<u32>> = cluster
+            .machines()
+            .map(|m| {
+                let topo = cluster.machine(m);
+                topo.sockets()
+                    .map(|s| topo.gpus_in_socket(s).len() as u32)
+                    .collect()
+            })
+            .collect();
+        let socket_free = socket_total.clone();
+        let jobs_on = vec![Vec::new(); cluster.n_machines()];
         let bw_used = cluster
             .machines()
             .map(|m| vec![0.0; cluster.machine(m).n_sockets()])
@@ -92,6 +129,10 @@ impl ClusterState {
             cluster,
             profiles,
             free,
+            free_mask,
+            socket_free,
+            socket_total,
+            jobs_on,
             bw_used,
             bw_capacity_gbs: DEFAULT_SOCKET_BW_GBS,
             down,
@@ -187,22 +228,40 @@ impl ClusterState {
 
     /// Free GPUs on `machine`, ascending (none when the machine is down).
     pub fn free_gpus(&self, machine: MachineId) -> Vec<GpuId> {
-        if self.down[machine.index()] {
-            return Vec::new();
+        let mut mask = self.free_mask_bits(machine);
+        let mut gpus = Vec::with_capacity(mask.count_ones() as usize);
+        while mask != 0 {
+            let g = mask.trailing_zeros();
+            gpus.push(GpuId(g));
+            mask &= mask - 1;
         }
-        self.free[machine.index()]
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &f)| f.then_some(GpuId(i as u32)))
-            .collect()
+        gpus
+    }
+
+    /// Lowest-id free GPU on `machine`, if any.
+    pub fn first_free_gpu(&self, machine: MachineId) -> Option<GpuId> {
+        let mask = self.free_mask_bits(machine);
+        (mask != 0).then(|| GpuId(mask.trailing_zeros()))
+    }
+
+    /// The machine's free-GPU set as a bitmask (bit `g` set ⇔ GPU `g`
+    /// free; 0 when the machine is down) — the evaluation engine's
+    /// equivalence-class key component.
+    pub fn free_mask_bits(&self, machine: MachineId) -> u128 {
+        if self.down[machine.index()] {
+            return 0;
+        }
+        self.free_mask[machine.index()]
+    }
+
+    /// Committed per-socket memory bandwidth on `machine`, GB/s.
+    pub fn socket_bw_used(&self, machine: MachineId) -> &[f64] {
+        &self.bw_used[machine.index()]
     }
 
     /// Number of free GPUs on `machine` (0 when the machine is down).
     pub fn free_count(&self, machine: MachineId) -> usize {
-        if self.down[machine.index()] {
-            return 0;
-        }
-        self.free[machine.index()].iter().filter(|&&f| f).count()
+        self.free_mask_bits(machine).count_ones() as usize
     }
 
     /// Total free GPUs across the cluster.
@@ -217,18 +276,12 @@ impl ClusterState {
     }
 
     /// Free GPUs of `machine` grouped per socket as `(free, total)` —
-    /// the Eq. 5 input.
+    /// the Eq. 5 input. Served from the incrementally maintained counters.
     pub fn socket_occupancy(&self, machine: MachineId) -> Vec<(u32, u32)> {
-        let topo = self.cluster.machine(machine);
-        topo.sockets()
-            .map(|s| {
-                let gpus = topo.gpus_in_socket(s);
-                let free = gpus
-                    .iter()
-                    .filter(|g| self.free[machine.index()][g.index()])
-                    .count() as u32;
-                (free, gpus.len() as u32)
-            })
+        self.socket_free[machine.index()]
+            .iter()
+            .zip(&self.socket_total[machine.index()])
+            .map(|(&f, &t)| (f, t))
             .collect()
     }
 
@@ -242,11 +295,11 @@ impl ClusterState {
     }
 
     /// Allocations holding at least one GPU on `machine`, ascending job id.
+    /// Served from the per-machine job index — no cluster-wide scan.
     pub fn running_on(&self, machine: MachineId) -> Vec<&Allocation> {
-        let mut v: Vec<&Allocation> = self
-            .running
-            .values()
-            .filter(|a| a.gpus.iter().any(|g| g.machine == machine))
+        let mut v: Vec<&Allocation> = self.jobs_on[machine.index()]
+            .iter()
+            .map(|id| &self.running[id])
             .collect();
         v.sort_by_key(|a| a.spec.id);
         v
@@ -288,12 +341,16 @@ impl ClusterState {
             let slot = &mut self.free[g.machine.index()][g.gpu.index()];
             assert!(*slot, "{g} is already allocated");
             *slot = false;
+            self.free_mask[g.machine.index()] &= !(1u128 << g.gpu.index());
+            let socket = self.cluster.machine(g.machine).socket_of(g.gpu).index();
+            self.socket_free[g.machine.index()][socket] -= 1;
         }
         // Commit the bandwidth demand per machine.
         let mut machines: Vec<MachineId> = gpus.iter().map(|g| g.machine).collect();
         machines.sort_unstable();
         machines.dedup();
         for m in machines {
+            self.jobs_on[m.index()].push(spec.id);
             let local: Vec<GpuId> = gpus
                 .iter()
                 .filter(|g| g.machine == m)
@@ -322,8 +379,12 @@ impl ClusterState {
             .unwrap_or_else(|| panic!("{id} is not running"));
         for &g in &alloc.gpus {
             self.free[g.machine.index()][g.gpu.index()] = true;
+            self.free_mask[g.machine.index()] |= 1u128 << g.gpu.index();
+            let socket = self.cluster.machine(g.machine).socket_of(g.gpu).index();
+            self.socket_free[g.machine.index()][socket] += 1;
         }
         for m in alloc.machines() {
+            self.jobs_on[m.index()].retain(|&j| j != id);
             let local = alloc.gpus_on(m);
             let machine_share = alloc.spec.bw_demand_gbs * local.len() as f64
                 / alloc.gpus.len().max(1) as f64;
@@ -443,6 +504,56 @@ impl ClusterState {
                 return Err(format!("{m} is down but reports free capacity"));
             }
         }
+        // 6: incremental caches re-derived from the ground truth. Any drift
+        // here is a cache-invalidation bug on place/release/failure.
+        for m in self.cluster.machines() {
+            let topo = self.cluster.machine(m);
+            let mi = m.index();
+            let mut want_mask = 0u128;
+            for (gi, &is_free) in self.free[mi].iter().enumerate() {
+                if is_free {
+                    want_mask |= 1u128 << gi;
+                }
+            }
+            if self.free_mask[mi] != want_mask {
+                return Err(format!(
+                    "{m} free_mask cache {:#x} disagrees with bitmap {want_mask:#x}",
+                    self.free_mask[mi]
+                ));
+            }
+            for s in topo.sockets() {
+                let gpus = topo.gpus_in_socket(s);
+                let want_free =
+                    gpus.iter().filter(|g| self.free[mi][g.index()]).count() as u32;
+                if self.socket_free[mi][s.index()] != want_free {
+                    return Err(format!(
+                        "{m}/{s} socket_free cache {} disagrees with bitmap ({want_free})",
+                        self.socket_free[mi][s.index()]
+                    ));
+                }
+                if self.socket_total[mi][s.index()] != gpus.len() as u32 {
+                    return Err(format!(
+                        "{m}/{s} socket_total cache {} disagrees with topology ({})",
+                        self.socket_total[mi][s.index()],
+                        gpus.len()
+                    ));
+                }
+            }
+            let mut want_jobs: Vec<JobId> = self
+                .running
+                .values()
+                .filter(|a| a.gpus.iter().any(|g| g.machine == m))
+                .map(|a| a.spec.id)
+                .collect();
+            want_jobs.sort_unstable();
+            let mut cached = self.jobs_on[mi].clone();
+            cached.sort_unstable();
+            if cached != want_jobs {
+                return Err(format!(
+                    "{m} jobs_on cache {cached:?} disagrees with allocations {want_jobs:?}"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -457,11 +568,10 @@ impl ClusterState {
     /// Sockets of `machine` touched by running jobs other than `exclude`.
     pub fn busy_sockets(&self, machine: MachineId, exclude: Option<JobId>) -> Vec<SocketId> {
         let topo = self.cluster.machine(machine);
-        let mut sockets: Vec<SocketId> = self
-            .running
-            .values()
-            .filter(|a| Some(a.spec.id) != exclude)
-            .flat_map(|a| a.gpus_on(machine))
+        let mut sockets: Vec<SocketId> = self.jobs_on[machine.index()]
+            .iter()
+            .filter(|&&id| Some(id) != exclude)
+            .flat_map(|id| self.running[id].gpus_on(machine))
             .map(|g| topo.socket_of(g))
             .collect();
         sockets.sort_unstable();
@@ -473,6 +583,15 @@ impl ClusterState {
 /// Lifts machine-local GPU ids into the cluster id space.
 pub fn on_machine(machine: MachineId, gpus: &[GpuId]) -> Vec<GlobalGpuId> {
     gpus.iter().map(|&gpu| GlobalGpuId { machine, gpu }).collect()
+}
+
+/// Bitmask with the low `n` bits set (`n ≤ 128`).
+fn full_mask(n: usize) -> u128 {
+    if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    }
 }
 
 #[cfg(test)]
@@ -600,5 +719,44 @@ mod tests {
     fn on_machine_lifts_ids() {
         let lifted = on_machine(MachineId(3), &[GpuId(0), GpuId(2)]);
         assert_eq!(lifted, vec![g(3, 0), g(3, 2)]);
+    }
+
+    #[test]
+    fn incremental_caches_track_place_release_and_failure() {
+        let mut s = state(2);
+        assert_eq!(s.free_mask_bits(MachineId(0)), 0b1111);
+        assert_eq!(s.first_free_gpu(MachineId(0)), Some(GpuId(0)));
+
+        s.place(spec(0, 2), vec![g(0, 0), g(0, 2)], 1.0);
+        assert_eq!(s.free_mask_bits(MachineId(0)), 0b1010);
+        assert_eq!(s.first_free_gpu(MachineId(0)), Some(GpuId(1)));
+        assert_eq!(s.free_gpus(MachineId(0)), vec![GpuId(1), GpuId(3)]);
+        assert_eq!(s.socket_occupancy(MachineId(0)), vec![(1, 2), (1, 2)]);
+        s.audit().unwrap();
+
+        s.release(JobId(0));
+        assert_eq!(s.free_mask_bits(MachineId(0)), 0b1111);
+        s.audit().unwrap();
+
+        // A down machine reports an empty mask but keeps its bookkeeping.
+        s.set_machine_down(MachineId(1), true);
+        assert_eq!(s.free_mask_bits(MachineId(1)), 0);
+        assert_eq!(s.first_free_gpu(MachineId(1)), None);
+        assert_eq!(s.free_count(MachineId(1)), 0);
+        s.audit().unwrap();
+        s.set_machine_down(MachineId(1), false);
+        assert_eq!(s.free_mask_bits(MachineId(1)), 0b1111);
+    }
+
+    #[test]
+    fn socket_bw_used_tracks_commitments() {
+        let mut s = state(1);
+        assert_eq!(s.socket_bw_used(MachineId(0)), &[0.0, 0.0]);
+        let mut j = spec(0, 2);
+        j.bw_demand_gbs = 10.0;
+        s.place(j, vec![g(0, 0), g(0, 2)], 1.0);
+        assert_eq!(s.socket_bw_used(MachineId(0)), &[5.0, 5.0]);
+        s.release(JobId(0));
+        assert_eq!(s.socket_bw_used(MachineId(0)), &[0.0, 0.0]);
     }
 }

@@ -14,7 +14,9 @@ use crate::metrics::{JobRecord, SimEvent, SimResult, TimelineSegment, UtilitySam
 use crate::runtime::{current_slowdown, RunningJob};
 use gts_job::JobSpec;
 use gts_perf::ProfileLibrary;
-use gts_sched::{CancelOutcome, ClusterState, PlacementOutcome, Policy, Scheduler, SchedulerConfig};
+use gts_sched::{
+    CancelOutcome, ClusterState, EvalParams, PlacementOutcome, Policy, Scheduler, SchedulerConfig,
+};
 use gts_topo::{ClusterTopology, MachineId};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -43,6 +45,10 @@ pub struct SimConfig {
     /// per-candidate utility breakdowns for every placement decision. Off
     /// by default: tracing allocates per decision, so benches pay nothing.
     pub trace: bool,
+    /// Candidate-evaluation engine parameters (defaults to
+    /// [`EvalParams::from_env`]; `EvalParams::sequential()` selects the
+    /// reference path).
+    pub eval: EvalParams,
 }
 
 impl SimConfig {
@@ -57,12 +63,19 @@ impl SimConfig {
             machine_failures: Vec::new(),
             machine_recoveries: Vec::new(),
             trace: false,
+            eval: EvalParams::from_env(),
         }
     }
 
     /// Turns decision-trace recording on.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Overrides the candidate-evaluation engine parameters.
+    pub fn with_eval(mut self, eval: EvalParams) -> Self {
+        self.eval = eval;
         self
     }
 
@@ -129,7 +142,10 @@ impl Simulation {
         config: SimConfig,
     ) -> Self {
         let state = ClusterState::new(Arc::clone(&cluster), profiles);
-        let mut scheduler = Scheduler::new(state, SchedulerConfig { policy: config.policy });
+        let mut scheduler = Scheduler::new(
+            state,
+            SchedulerConfig { policy: config.policy, eval: config.eval },
+        );
         scheduler.set_tracing(config.trace);
         let mut pending_failures = config.machine_failures.clone();
         pending_failures.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite failure times"));
@@ -299,12 +315,14 @@ impl Simulation {
             }
             self.scheduler.fail_machine(machine);
             self.failures_applied.push((self.now, machine));
-            let interrupted: Vec<gts_job::JobId> = self
+            let mut interrupted: Vec<gts_job::JobId> = self
                 .restarts
                 .keys()
                 .copied()
                 .filter(|id| self.scheduler.queue().contains(*id))
                 .collect();
+            // `restarts` is a HashMap; sort so the event log is deterministic.
+            interrupted.sort();
             self.events.push(SimEvent::MachineFailed {
                 t_s: self.now,
                 machine,

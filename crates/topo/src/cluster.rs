@@ -37,6 +37,30 @@ pub struct ClusterTopology {
     machines: Vec<Arc<MachineTopology>>,
     /// Rack id per machine; `None` = a single flat fabric.
     racks: Option<Vec<u32>>,
+    /// Dense topology-class id per machine: machines sharing one
+    /// [`MachineTopology`] allocation share a class. Homogeneous clusters
+    /// collapse to a single class, which is what lets the placement engine
+    /// memoize per *machine state* instead of per machine.
+    class_of: Vec<u32>,
+}
+
+/// Dense class ids from shared-allocation identity: two machines belong to
+/// the same class iff they point at the same [`MachineTopology`].
+fn classes_of(machines: &[Arc<MachineTopology>]) -> Vec<u32> {
+    let mut reps: Vec<*const MachineTopology> = Vec::new();
+    machines
+        .iter()
+        .map(|m| {
+            let p = Arc::as_ptr(m);
+            match reps.iter().position(|&r| std::ptr::eq(r, p)) {
+                Some(i) => i as u32,
+                None => {
+                    reps.push(p);
+                    (reps.len() - 1) as u32
+                }
+            }
+        })
+        .collect()
 }
 
 impl ClusterTopology {
@@ -44,10 +68,10 @@ impl ClusterTopology {
     pub fn homogeneous(machine: MachineTopology, n: usize) -> Self {
         assert!(n > 0, "a cluster needs at least one machine");
         let shared = Arc::new(machine);
-        Self {
-            machines: (0..n).map(|_| Arc::clone(&shared)).collect(),
-            racks: None,
-        }
+        let machines: Vec<Arc<MachineTopology>> =
+            (0..n).map(|_| Arc::clone(&shared)).collect();
+        let class_of = classes_of(&machines);
+        Self { machines, racks: None, class_of }
     }
 
     /// A cluster of identical machines arranged in racks: `n_racks` racks of
@@ -61,9 +85,13 @@ impl ClusterTopology {
         assert!(n_racks > 0 && machines_per_rack > 0, "racks and machines must be positive");
         let shared = Arc::new(machine);
         let n = n_racks * machines_per_rack;
+        let machines: Vec<Arc<MachineTopology>> =
+            (0..n).map(|_| Arc::clone(&shared)).collect();
+        let class_of = classes_of(&machines);
         Self {
-            machines: (0..n).map(|_| Arc::clone(&shared)).collect(),
+            machines,
             racks: Some((0..n).map(|i| (i / machines_per_rack) as u32).collect()),
+            class_of,
         }
     }
 
@@ -71,7 +99,21 @@ impl ClusterTopology {
     /// flat fabric.
     pub fn from_machines(machines: Vec<Arc<MachineTopology>>) -> Self {
         assert!(!machines.is_empty(), "a cluster needs at least one machine");
-        Self { machines, racks: None }
+        let class_of = classes_of(&machines);
+        Self { machines, racks: None, class_of }
+    }
+
+    /// The machine's topology class: machines sharing one
+    /// [`MachineTopology`] allocation report the same dense id. Placements
+    /// on same-class machines with identical occupancy are interchangeable,
+    /// which the evaluation engine exploits for memoization.
+    pub fn machine_class(&self, id: MachineId) -> u32 {
+        self.class_of[id.index()]
+    }
+
+    /// Number of distinct topology classes (1 for homogeneous clusters).
+    pub fn n_machine_classes(&self) -> usize {
+        self.class_of.iter().copied().max().map_or(0, |m| m as usize + 1)
     }
 
     /// The rack a machine sits in (0 on flat fabrics).
@@ -224,6 +266,38 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn empty_cluster_rejected() {
         ClusterTopology::from_machines(Vec::new());
+    }
+
+    #[test]
+    fn machine_classes_track_shared_topologies() {
+        let c = cluster(5);
+        assert_eq!(c.n_machine_classes(), 1);
+        assert_eq!(c.machine_class(MachineId(0)), c.machine_class(MachineId(4)));
+
+        // Distinct allocations are distinct classes even when structurally
+        // identical — class identity is allocation identity, never a deep
+        // comparison.
+        let hetero = ClusterTopology::from_machines(vec![
+            Arc::new(power8_minsky()),
+            Arc::new(power8_minsky()),
+        ]);
+        assert_eq!(hetero.n_machine_classes(), 2);
+        assert_ne!(
+            hetero.machine_class(MachineId(0)),
+            hetero.machine_class(MachineId(1))
+        );
+
+        // Repeated handles collapse back onto their first class id.
+        let shared = c.machine_arc(MachineId(0));
+        let mixed = ClusterTopology::from_machines(vec![
+            Arc::clone(&shared),
+            Arc::new(power8_minsky()),
+            shared,
+        ]);
+        assert_eq!(mixed.n_machine_classes(), 2);
+        assert_eq!(mixed.machine_class(MachineId(0)), 0);
+        assert_eq!(mixed.machine_class(MachineId(1)), 1);
+        assert_eq!(mixed.machine_class(MachineId(2)), 0);
     }
 
     #[test]

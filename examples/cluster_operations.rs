@@ -75,7 +75,7 @@ fn main() {
     // Live cancellation through the scheduler API.
     let mut scheduler = Scheduler::new(
         ClusterState::new(Arc::clone(&cluster), profiles),
-        SchedulerConfig { policy: Policy::new(PolicyKind::TopoAwareP) },
+        SchedulerConfig::new(Policy::new(PolicyKind::TopoAwareP)),
     );
     scheduler.submit(JobSpec::new(100, NnModel::AlexNet, BatchClass::Tiny, 2));
     scheduler.run_iteration();

@@ -45,7 +45,7 @@ fn drive_and_audit(kind: PolicyKind, seed: u64) {
     let capacity = cluster.n_gpus();
     let mut s = Scheduler::new(
         ClusterState::new(cluster, profiles),
-        SchedulerConfig { policy: Policy::new(kind) },
+        SchedulerConfig::new(Policy::new(kind)),
     );
     s.set_tracing(true);
 
@@ -99,6 +99,60 @@ fn drive_and_audit(kind: PolicyKind, seed: u64) {
 fn every_policy_passes_the_audit_and_drains_the_cluster() {
     for kind in PolicyKind::ALL {
         drive_and_audit(kind, 7);
+    }
+}
+
+/// One traced simulation with an explicit evaluation-engine setting.
+/// Even-numbered seeds also script a failure/recovery cycle so the engine
+/// is exercised across `fail_machine`/`recover_machine` invalidations.
+fn simulate_with_eval(
+    seed: u64,
+    n_machines: usize,
+    kind: PolicyKind,
+    eval: EvalParams,
+) -> SimResult {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+    let trace = WorkloadGenerator::with_defaults(seed).generate(24);
+    let mut config = SimConfig::new(Policy::new(kind)).with_trace().with_eval(eval);
+    if seed.is_multiple_of(2) {
+        config = config
+            .with_machine_failures(vec![(50.0, MachineId(1))])
+            .with_machine_recoveries(vec![(400.0, MachineId(1))]);
+    }
+    Simulation::new(cluster, profiles, config).run(trace)
+}
+
+/// The memoized+parallel evaluation engine must be bit-identical to the
+/// sequential reference: same placements, same trace events, same metrics,
+/// for every policy across many seeds, including machine-failure runs.
+/// (`mean_decision_s` is wall-clock and legitimately differs.)
+#[test]
+fn evaluation_engine_is_bit_identical_to_sequential_reference() {
+    for kind in PolicyKind::ALL {
+        for seed in 0..8u64 {
+            let n_machines = 2 + (seed as usize % 3);
+            let seq = simulate_with_eval(seed, n_machines, kind, EvalParams::sequential());
+            let par = simulate_with_eval(seed, n_machines, kind, EvalParams::parallel(4));
+            let ctx = format!("{kind:?} seed {seed} ({n_machines} machines)");
+            assert_eq!(seq.policy, par.policy, "{ctx}: policy");
+            assert_eq!(seq.records, par.records, "{ctx}: records");
+            assert_eq!(seq.unplaceable, par.unplaceable, "{ctx}: unplaceable");
+            assert_eq!(seq.timeline, par.timeline, "{ctx}: timeline");
+            assert_eq!(seq.utility_series, par.utility_series, "{ctx}: utility series");
+            assert_eq!(
+                seq.makespan_s.to_bits(),
+                par.makespan_s.to_bits(),
+                "{ctx}: makespan {} vs {}",
+                seq.makespan_s,
+                par.makespan_s
+            );
+            assert_eq!(seq.slo_violations, par.slo_violations, "{ctx}: SLO violations");
+            assert_eq!(seq.failures, par.failures, "{ctx}: failures");
+            assert_eq!(seq.events, par.events, "{ctx}: events");
+            assert_eq!(seq.trace, par.trace, "{ctx}: decision trace");
+        }
     }
 }
 

@@ -140,7 +140,9 @@ impl BenchmarkGroup<'_> {
         let mut bencher =
             Bencher { test_mode, sample_size: self.sample_size, timings: Vec::new() };
         f(&mut bencher);
-        report(&label, test_mode, &bencher.timings);
+        if let Some(r) = report(&label, test_mode, &bencher.timings) {
+            self.criterion.records.push(r);
+        }
         self
     }
 
@@ -163,14 +165,29 @@ pub enum Throughput {
     Elements(u64),
 }
 
-fn report(label: &str, test_mode: bool, timings: &[Duration]) {
+/// One finished benchmark's timings, kept by the [`Criterion`] object so
+/// drivers (e.g. `gts bench`) can serialize results instead of scraping
+/// stdout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// `group/function/parameter` label.
+    pub label: String,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u128,
+    /// Timed iterations taken.
+    pub samples: usize,
+}
+
+fn report(label: &str, test_mode: bool, timings: &[Duration]) -> Option<BenchRecord> {
     if test_mode {
         println!("bench {label}: ok (test mode, 1 iteration)");
-        return;
+        return None;
     }
     if timings.is_empty() {
         println!("bench {label}: no samples");
-        return;
+        return None;
     }
     let total: Duration = timings.iter().sum();
     let mean = total / timings.len() as u32;
@@ -181,12 +198,19 @@ fn report(label: &str, test_mode: bool, timings: &[Duration]) {
         min,
         timings.len()
     );
+    Some(BenchRecord {
+        label: label.to_string(),
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        samples: timings.len(),
+    })
 }
 
 /// The harness entry object handed to each bench function.
 pub struct Criterion {
     test_mode: bool,
     default_sample_size: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -194,11 +218,23 @@ impl Default for Criterion {
         // `cargo test` runs harness=false bench binaries with `--test`;
         // `cargo bench` passes `--bench`. Anything with `--test` wins.
         let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { test_mode, default_sample_size: 10 }
+        Criterion { test_mode, default_sample_size: 10, records: Vec::new() }
     }
 }
 
 impl Criterion {
+    /// Overrides the default sample size for subsequently created
+    /// benchmarks/groups (groups may still override it themselves).
+    pub fn with_sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Drains the records collected so far (empty in test mode).
+    pub fn take_records(&mut self) -> Vec<BenchRecord> {
+        std::mem::take(&mut self.records)
+    }
+
     pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
         BenchmarkGroup { name: name.to_string(), criterion: self, sample_size }
@@ -212,7 +248,9 @@ impl Criterion {
             timings: Vec::new(),
         };
         f(&mut bencher);
-        report(name, test_mode, &bencher.timings);
+        if let Some(r) = report(name, test_mode, &bencher.timings) {
+            self.records.push(r);
+        }
         self
     }
 }
