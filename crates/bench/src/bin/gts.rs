@@ -121,6 +121,11 @@ fn run_bench(args: &[String]) -> ExitCode {
         report.arrival_speedup,
         if smoke { "  [smoke — not comparable]" } else { "" },
     );
+    println!(
+        "sim/large event-loop speedup (reference/incremental): {:.2}x{}",
+        report.sim_loop_speedup,
+        if smoke { "  [smoke — not comparable]" } else { "" },
+    );
     if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;

@@ -7,7 +7,11 @@
 //! 2. **`arrival`** — a full TOPO-AWARE `decide` on a 64-machine
 //!    mostly-idle cluster, sequential reference vs the memoized+parallel
 //!    engine (the ISSUE 2 acceptance measurement);
-//! 3. **`sim`** — a whole small fig10-style simulation under both paths.
+//! 3. **`sim`** — a whole small fig10-style simulation under both paths;
+//! 4. **`sim/large_*`** — a large-cluster simulation (256 machines, 2 048
+//!    jobs, arrivals dense enough that many jobs run concurrently),
+//!    incremental event loop vs the recompute-everything reference (the
+//!    ISSUE 4 acceptance measurement).
 
 use crate::experiments::minsky_cluster;
 use criterion::{black_box, Criterion};
@@ -41,6 +45,10 @@ pub struct BenchReport {
     /// Sequential-reference mean over engine mean for the 64-machine
     /// mostly-idle TOPO-AWARE arrival (the headline speedup).
     pub arrival_speedup: f64,
+    /// Reference event-loop mean over incremental event-loop mean for the
+    /// large-cluster simulation (`sim/large_reference` /
+    /// `sim/large_incremental`).
+    pub sim_loop_speedup: f64,
     /// All benchmark timings.
     pub results: Vec<BenchEntry>,
 }
@@ -135,10 +143,39 @@ pub fn run(smoke: bool) -> BenchReport {
         });
     }
 
+    // 4. The large-cluster simulation: incremental vs reference event loop.
+    // Arrivals at 90 jobs/min over machine-filling-sized requests keep a
+    // large running set alive, so the reference loop's O(J²)-per-event
+    // refresh dominates; smoke shrinks the cluster and trace but keeps the
+    // overlap structure.
+    let (large_machines, large_jobs) = if smoke { (16, 96) } else { (256, 2048) };
+    let mut c_large = Criterion::default().with_sample_size(if smoke { 1 } else { 3 });
+    let gen = GeneratorConfig {
+        arrival_rate_per_min: 90.0,
+        iterations: 150,
+        ..GeneratorConfig::default()
+    };
+    let (cluster, profiles) = minsky_cluster(large_machines);
+    let trace = WorkloadGenerator::new(gen, 2002).generate(large_jobs);
+    for (label, incremental) in [("large_reference", false), ("large_incremental", true)] {
+        c_large.bench_function(&format!("sim/{label}"), |b| {
+            b.iter(|| {
+                let config = SimConfig::new(Policy::new(PolicyKind::TopoAware))
+                    .with_eval(engine)
+                    .with_incremental(incremental);
+                black_box(
+                    Simulation::new(Arc::clone(&cluster), Arc::clone(&profiles), config)
+                        .run(trace.clone()),
+                )
+            })
+        });
+    }
+
     let mut results: Vec<BenchEntry> = c
         .take_records()
         .into_iter()
         .chain(c_sim.take_records())
+        .chain(c_large.take_records())
         .map(|r| BenchEntry {
             label: r.label,
             mean_ns: r.mean_ns.min(u64::MAX as u128) as u64,
@@ -152,16 +189,16 @@ pub fn run(smoke: bool) -> BenchReport {
         threads: engine.threads as u64,
         smoke,
         arrival_speedup: 0.0,
+        sim_loop_speedup: 0.0,
         results,
     };
-    let speedup = match (
-        report.mean_ns("arrival/topo64_sequential"),
-        report.mean_ns("arrival/topo64_engine"),
-    ) {
-        (Some(seq), Some(eng)) if eng > 0 => seq as f64 / eng as f64,
+    let ratio = |num: &str, den: &str| match (report.mean_ns(num), report.mean_ns(den)) {
+        (Some(n), Some(d)) if d > 0 => n as f64 / d as f64,
         _ => 0.0,
     };
-    BenchReport { arrival_speedup: speedup, ..report }
+    let arrival_speedup = ratio("arrival/topo64_sequential", "arrival/topo64_engine");
+    let sim_loop_speedup = ratio("sim/large_reference", "sim/large_incremental");
+    BenchReport { arrival_speedup, sim_loop_speedup, ..report }
 }
 
 #[cfg(test)]
@@ -179,6 +216,8 @@ mod tests {
             "arrival/topo64_engine",
             "sim/fig10_slice_sequential",
             "sim/fig10_slice_engine",
+            "sim/large_reference",
+            "sim/large_incremental",
         ] {
             assert!(
                 report.mean_ns(label).is_some_and(|ns| ns > 0),
@@ -186,9 +225,12 @@ mod tests {
             );
         }
         assert!(report.arrival_speedup > 0.0);
+        assert!(report.sim_loop_speedup > 0.0);
         let json = report.to_json();
         assert!(json.contains("arrival_speedup"));
+        assert!(json.contains("sim_loop_speedup"));
         assert!(json.contains("topo64_engine"));
+        assert!(json.contains("large_incremental"));
     }
 
     #[test]

@@ -294,6 +294,16 @@ impl ClusterState {
             .collect()
     }
 
+    /// Ids of the jobs holding at least one GPU on `machine`, in placement
+    /// order — the raw per-machine index behind
+    /// [`ClusterState::running_on`]. The simulator's incremental event loop
+    /// reuses this index to scope slowdown refreshes and failure teardown
+    /// to the machines an event actually touched, instead of scanning the
+    /// whole running set.
+    pub fn jobs_on_machine(&self, machine: MachineId) -> &[JobId] {
+        &self.jobs_on[machine.index()]
+    }
+
     /// Allocations holding at least one GPU on `machine`, ascending job id.
     /// Served from the per-machine job index — no cluster-wide scan.
     pub fn running_on(&self, machine: MachineId) -> Vec<&Allocation> {

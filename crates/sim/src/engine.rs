@@ -1,25 +1,55 @@
 //! The discrete-event loop.
 //!
-//! Events are job arrivals and job completions; after every event batch the
-//! scheduler runs one Algorithm 1 iteration ("the scheduler sleeps until a
-//! job has finished or a time interval has expired" — with an analytic
-//! progress model the interval wakeups are unnecessary, every state change
-//! is an event). Between events, running jobs progress at
-//! `1/(1+slowdown)`; slowdowns are re-derived after every placement or
-//! completion, so interference couples job completion times exactly as on
-//! the real machine.
+//! Events are job arrivals, job completions, and scripted machine
+//! failures/recoveries; after every event batch the scheduler runs one
+//! Algorithm 1 iteration ("the scheduler sleeps until a job has finished or
+//! a time interval has expired" — with an analytic progress model the
+//! interval wakeups are unnecessary, every state change is an event).
+//! Between events, running jobs progress at `1/(1+slowdown)`; slowdowns are
+//! re-derived after every placement or completion, so interference couples
+//! job completion times exactly as on the real machine.
+//!
+//! # Incremental event loop
+//!
+//! The loop runs in one of two modes, selected by
+//! [`SimConfig::incremental`] (env default: `GTS_SIM_INCREMENTAL`, on
+//! unless set to `0`/`false`/`off`):
+//!
+//! * **Reference** — after every event, every running job's slowdown is
+//!   re-derived against every other running job (O(J²) pairwise with a
+//!   machine-set intersection per pair), and the next completion is found
+//!   by a full scan over the running set.
+//! * **Incremental** — interference couples jobs solely through shared
+//!   machines ([`crate::runtime::current_slowdown`] takes the max
+//!   `domain_factor` over shared machines and ignores everything else), so
+//!   an event can only change the slowdown of jobs holding GPUs on the
+//!   machines it touched. The loop tracks a *dirty-machine set* fed by
+//!   placements, completions, failures, and running-vector reorders, and
+//!   refreshes only the jobs on dirty machines — bit-identical to the
+//!   reference, at O(affected) instead of O(J²) per event. The next
+//!   completion comes from a lazy min-heap keyed by `(eta bits, job id)`
+//!   that is re-keyed only when a job's rate changes, and the sorted
+//!   failure/recovery schedules pop through cursors instead of
+//!   `Vec::remove(0)`.
+//!
+//! Bit-identity of the two modes across policies, seeds, failures, and
+//! jitter is enforced by `tests/stack_properties.rs` at the workspace root
+//! and, in debug builds, by a full O(J²) shadow check after every scoped
+//! refresh.
 
 use crate::ideal::ideal_duration_s;
 use crate::metrics::{JobRecord, SimEvent, SimResult, TimelineSegment, UtilitySample};
 use crate::runtime::{current_slowdown, RunningJob};
-use gts_job::JobSpec;
+use gts_job::{BatchClass, JobId, JobSpec, NnModel};
 use gts_perf::ProfileLibrary;
 use gts_sched::{
-    CancelOutcome, ClusterState, EvalParams, PlacementOutcome, Policy, Scheduler, SchedulerConfig,
+    Allocation, CancelOutcome, ClusterState, EvalParams, PlacementOutcome, Policy, Scheduler,
+    SchedulerConfig,
 };
 use gts_topo::{ClusterTopology, MachineId};
-use std::collections::VecDeque;
-use std::sync::Arc;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{Arc, OnceLock};
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -49,6 +79,23 @@ pub struct SimConfig {
     /// [`EvalParams::from_env`]; `EvalParams::sequential()` selects the
     /// reference path).
     pub eval: EvalParams,
+    /// Run the incremental event loop (machine-scoped slowdown refresh +
+    /// completion heap) instead of the O(J²)-per-event reference loop.
+    /// Defaults from `GTS_SIM_INCREMENTAL` (on unless `0`/`false`/`off`);
+    /// both modes produce bit-identical [`SimResult`]s.
+    pub incremental: bool,
+}
+
+/// Reads `GTS_SIM_INCREMENTAL` (cached after the first read). The
+/// incremental loop is on unless the variable is set to `0`, `false`, or
+/// `off` — it is bit-identical to the reference loop, so there is no
+/// accuracy reason to opt out.
+fn incremental_default() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| match std::env::var("GTS_SIM_INCREMENTAL") {
+        Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off"),
+        Err(_) => true,
+    })
 }
 
 impl SimConfig {
@@ -64,6 +111,7 @@ impl SimConfig {
             machine_recoveries: Vec::new(),
             trace: false,
             eval: EvalParams::from_env(),
+            incremental: incremental_default(),
         }
     }
 
@@ -76,6 +124,12 @@ impl SimConfig {
     /// Overrides the candidate-evaluation engine parameters.
     pub fn with_eval(mut self, eval: EvalParams) -> Self {
         self.eval = eval;
+        self
+    }
+
+    /// Selects the incremental (`true`) or reference (`false`) event loop.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
         self
     }
 
@@ -115,6 +169,29 @@ fn jitter_factor(seed: u64, job: u64, jitter: f64) -> f64 {
     1.0 + jitter * (2.0 * unit - 1.0)
 }
 
+/// Event-loop instrumentation: how much slowdown-derivation work the run
+/// actually did. The scoped-refresh unit tests assert on these counters to
+/// prove jobs on untouched machines are *not* recomputed.
+#[derive(Debug, Clone, Default)]
+pub struct SimLoopStats {
+    /// Total `current_slowdown` derivations across the run.
+    pub slowdown_evals: u64,
+    /// Per-job `current_slowdown` derivation counts.
+    pub evals_by_job: HashMap<JobId, u64>,
+}
+
+impl SimLoopStats {
+    fn note_eval(&mut self, id: JobId) {
+        self.slowdown_evals += 1;
+        *self.evals_by_job.entry(id).or_insert(0) += 1;
+    }
+
+    /// Derivation count for one job (0 if it never ran).
+    pub fn evals_for(&self, id: JobId) -> u64 {
+        self.evals_by_job.get(&id).copied().unwrap_or(0)
+    }
+}
+
 /// A trace-driven simulation run.
 pub struct Simulation {
     cluster: Arc<ClusterTopology>,
@@ -123,15 +200,41 @@ pub struct Simulation {
     now: f64,
     pending: VecDeque<JobSpec>,
     running: Vec<RunningJob>,
+    /// Position of each running job in `running` — kept exact across
+    /// `push`/`swap_remove` so event processing never scans for a job.
+    job_pos: HashMap<JobId, usize>,
+    /// Machines touched since the last refresh (mask + list, so marking is
+    /// O(1) and clearing is O(|dirty|)). Only fed in incremental mode.
+    dirty_mask: Vec<bool>,
+    dirty_list: Vec<MachineId>,
+    /// Lazy min-heap of completion times: `(completion-time bits, job id)`.
+    /// Positive-finite f64 bits order identically to the values, and the
+    /// job id breaks exact ties deterministically. Entries are invalidated
+    /// (not removed) when a job's rate changes or it leaves `running`;
+    /// `heap_key` holds the one live key per job.
+    completion_heap: BinaryHeap<Reverse<(u64, JobId)>>,
+    heap_key: HashMap<JobId, u64>,
+    /// Cursors into the sorted failure/recovery schedules — O(1) pops
+    /// instead of `Vec::remove(0)`.
+    failure_cursor: usize,
+    recovery_cursor: usize,
     records: Vec<JobRecord>,
     unplaceable: Vec<JobSpec>,
     timeline: Vec<TimelineSegment>,
     utility_series: Vec<UtilitySample>,
     pending_failures: Vec<(f64, MachineId)>,
     pending_recoveries: Vec<(f64, MachineId)>,
-    restarts: std::collections::HashMap<gts_job::JobId, u32>,
+    restarts: HashMap<JobId, u32>,
     failures_applied: Vec<(f64, MachineId)>,
     events: Vec<SimEvent>,
+    stats: SimLoopStats,
+    /// Largest single-machine GPU count, precomputed so the admission
+    /// pre-pass is O(1) per job instead of a cluster scan.
+    max_machine_gpus: usize,
+    /// `ideal_for` is a pure function of the spec shape (the machine set is
+    /// fixed per run), so completed-job records memoize it instead of
+    /// brute-forcing every machine per completion.
+    ideal_cache: HashMap<(NnModel, BatchClass, u32, u32), f64>,
 }
 
 impl Simulation {
@@ -151,6 +254,12 @@ impl Simulation {
         pending_failures.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite failure times"));
         let mut pending_recoveries = config.machine_recoveries.clone();
         pending_recoveries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite recovery times"));
+        let n_machines = cluster.n_machines();
+        let max_machine_gpus = cluster
+            .machines()
+            .map(|m| cluster.machine(m).n_gpus())
+            .max()
+            .unwrap_or(0);
         Self {
             cluster,
             scheduler,
@@ -158,20 +267,36 @@ impl Simulation {
             now: 0.0,
             pending: VecDeque::new(),
             running: Vec::new(),
+            job_pos: HashMap::new(),
+            dirty_mask: vec![false; n_machines],
+            dirty_list: Vec::new(),
+            completion_heap: BinaryHeap::new(),
+            heap_key: HashMap::new(),
+            failure_cursor: 0,
+            recovery_cursor: 0,
             records: Vec::new(),
             unplaceable: Vec::new(),
             timeline: Vec::new(),
             utility_series: Vec::new(),
             pending_failures,
             pending_recoveries,
-            restarts: std::collections::HashMap::new(),
+            restarts: HashMap::new(),
             failures_applied: Vec::new(),
             events: Vec::new(),
+            stats: SimLoopStats::default(),
+            max_machine_gpus,
+            ideal_cache: HashMap::new(),
         }
     }
 
     /// Runs a whole trace to completion and returns the result.
-    pub fn run(mut self, mut trace: Vec<JobSpec>) -> SimResult {
+    pub fn run(self, trace: Vec<JobSpec>) -> SimResult {
+        self.run_with_stats(trace).0
+    }
+
+    /// Runs a whole trace to completion, also returning the event-loop
+    /// instrumentation counters (see [`SimLoopStats`]).
+    pub fn run_with_stats(mut self, mut trace: Vec<JobSpec>) -> (SimResult, SimLoopStats) {
         trace.sort_by(|a, b| {
             a.arrival_s
                 .partial_cmp(&b.arrival_s)
@@ -189,13 +314,10 @@ impl Simulation {
 
         loop {
             let next_arrival = self.pending.front().map(|j| j.arrival_s);
-            let next_completion = self
-                .running
-                .iter()
-                .map(|r| self.now + r.eta_s())
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let next_failure = self.pending_failures.first().map(|&(t, _)| t);
-            let next_recovery = self.pending_recoveries.first().map(|&(t, _)| t);
+            let next_completion = self.next_completion();
+            let next_failure = self.pending_failures.get(self.failure_cursor).map(|&(t, _)| t);
+            let next_recovery =
+                self.pending_recoveries.get(self.recovery_cursor).map(|&(t, _)| t);
 
             let timed = [next_arrival, next_completion, next_failure, next_recovery]
                 .into_iter()
@@ -255,7 +377,8 @@ impl Simulation {
             .map(|r| r.finished_at_s)
             .fold(0.0, f64::max);
         let trace = self.scheduler.take_trace();
-        SimResult {
+        let stats = std::mem::take(&mut self.stats);
+        let result = SimResult {
             policy: self.config.policy.kind,
             makespan_s,
             slo_violations: self.scheduler.slo_violations(),
@@ -267,41 +390,153 @@ impl Simulation {
             failures: self.failures_applied,
             events: self.events,
             trace,
+        };
+        (result, stats)
+    }
+
+    /// Marks a machine as touched by the current event batch.
+    fn mark_dirty(&mut self, machine: MachineId) {
+        if !self.config.incremental {
+            return;
         }
+        let i = machine.index();
+        if !self.dirty_mask[i] {
+            self.dirty_mask[i] = true;
+            self.dirty_list.push(machine);
+        }
+    }
+
+    /// Appends to `running`, keeping the position index exact.
+    fn push_running(&mut self, job: RunningJob) {
+        self.job_pos.insert(job.alloc.spec.id, self.running.len());
+        self.running.push(job);
+    }
+
+    /// `swap_remove` from `running`, keeping the position index exact and
+    /// invalidating the removed job's completion-heap entry. The relocated
+    /// tail job changes its position in the vector; co-runner lists (and
+    /// therefore the reference loop's f64 summation order) follow vector
+    /// order, so every job sharing a machine with it must be re-summed —
+    /// its machines join the dirty set.
+    fn remove_running(&mut self, idx: usize) -> RunningJob {
+        let job = self.running.swap_remove(idx);
+        self.job_pos.remove(&job.alloc.spec.id);
+        self.heap_key.remove(&job.alloc.spec.id);
+        if idx < self.running.len() {
+            let moved = self.running[idx].alloc.spec.id;
+            self.job_pos.insert(moved, idx);
+            if self.config.incremental {
+                for m in self.running[idx].alloc.machines() {
+                    self.mark_dirty(m);
+                }
+            }
+        }
+        debug_assert_eq!(self.job_pos.len(), self.running.len());
+        job
+    }
+
+    /// Earliest completion time across the running set, or `None` if
+    /// nothing runs. The reference mode scans; the incremental mode polls
+    /// the lazy heap.
+    fn next_completion(&mut self) -> Option<f64> {
+        if !self.config.incremental {
+            return self
+                .running
+                .iter()
+                .map(|r| self.now + r.eta_s())
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"));
+        }
+        // Discard stale heads (entries whose key was superseded by a rate
+        // change, or whose job left the running set).
+        let top = loop {
+            match self.completion_heap.peek() {
+                None => return None,
+                Some(&Reverse((bits, id))) => {
+                    if self.heap_key.get(&id) == Some(&bits) {
+                        break f64::from_bits(bits);
+                    }
+                    self.completion_heap.pop();
+                }
+            }
+        };
+        // Stored keys are exact samples of `fl(now + eta)` from the moment
+        // each job was last refreshed. For jobs untouched since, the
+        // reference scan re-rounds `now + remaining/rate` after every
+        // `advance`, drifting by a few ulps per event — so the true minimum
+        // can hide an ulp behind the heap top. Re-poll everything within a
+        // band around the top, recompute exactly, and take the min; the
+        // band (relative 1e-9) is orders of magnitude wider than any
+        // accumulated rounding drift. The debug shadow check below pins
+        // this against the full scan on every call.
+        let band = top + 2.0 * (1e-9 + 1e-9 * top.abs());
+        let mut best = f64::INFINITY;
+        let mut polled: Vec<(u64, JobId)> = Vec::new();
+        while let Some(&Reverse((bits, id))) = self.completion_heap.peek() {
+            if f64::from_bits(bits) > band {
+                break;
+            }
+            self.completion_heap.pop();
+            if self.heap_key.get(&id) != Some(&bits) {
+                continue; // stale entry inside the band: drop it
+            }
+            let exact = self.now + self.running[self.job_pos[&id]].eta_s();
+            best = best.min(exact);
+            polled.push((bits, id));
+        }
+        for (bits, id) in polled {
+            self.completion_heap.push(Reverse((bits, id)));
+        }
+        debug_assert!(best.is_finite(), "band poll found no live entry");
+        #[cfg(debug_assertions)]
+        {
+            let reference = self
+                .running
+                .iter()
+                .map(|r| self.now + r.eta_s())
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"));
+            assert_eq!(
+                reference.map(f64::to_bits),
+                Some(best.to_bits()),
+                "completion heap diverged from the scan: {reference:?} vs {best}"
+            );
+        }
+        Some(best)
     }
 
     /// Applies every failure scheduled at or before `now`: the machine's
     /// running jobs are torn down and resubmitted (losing their progress),
     /// then the machine goes dark.
     fn process_failures(&mut self) {
-        while let Some(&(t, machine)) = self.pending_failures.first() {
+        while let Some(&(t, machine)) = self.pending_failures.get(self.failure_cursor) {
             if t > self.now + 1e-9 {
                 break;
             }
-            self.pending_failures.remove(0);
+            self.failure_cursor += 1;
             if self.scheduler.state().is_machine_down(machine) {
                 continue;
             }
-            // Tear down every running job touching the machine.
-            let victims: Vec<gts_job::JobId> = self
-                .running
-                .iter()
-                .filter(|r| r.alloc.gpus.iter().any(|g| g.machine == machine))
-                .map(|r| r.alloc.spec.id)
-                .collect();
+            // Tear down every running job touching the machine. The
+            // per-machine index hands us the victims directly; sorting by
+            // position reproduces the running-vector order the old full
+            // filter scan produced, so teardown order (and everything
+            // downstream of it) is unchanged.
+            let mut victims: Vec<JobId> =
+                self.scheduler.state().jobs_on_machine(machine).to_vec();
+            victims.sort_unstable_by_key(|id| self.job_pos[id]);
             for id in victims {
-                let idx = self
-                    .running
-                    .iter()
-                    .position(|r| r.alloc.spec.id == id)
-                    .expect("victim is running");
-                let lost = self.running.swap_remove(idx);
+                let idx = self.job_pos[&id];
+                let lost = self.remove_running(idx);
                 match self.scheduler.cancel(id) {
                     CancelOutcome::Stopped(alloc) => {
+                        // A multi-node victim's other machines lose a
+                        // co-runner too.
+                        for m in alloc.machines() {
+                            self.mark_dirty(m);
+                        }
                         // Interrupted segment still shows in the timeline.
                         self.timeline.push(TimelineSegment {
                             job: id,
-                            gpus: alloc.gpus.clone(),
+                            gpus: alloc.gpus,
                             start_s: lost.started_at,
                             end_s: self.now,
                         });
@@ -310,12 +545,13 @@ impl Simulation {
                 }
                 *self.restarts.entry(id).or_insert(0) += 1;
                 // Resubmit from scratch; arrival time stays the original so
-                // queue fairness is preserved.
-                self.scheduler.submit(lost.alloc.spec.clone());
+                // queue fairness is preserved. `lost` is consumed here, so
+                // the spec moves instead of cloning.
+                self.scheduler.submit(lost.alloc.spec);
             }
             self.scheduler.fail_machine(machine);
             self.failures_applied.push((self.now, machine));
-            let mut interrupted: Vec<gts_job::JobId> = self
+            let mut interrupted: Vec<JobId> = self
                 .restarts
                 .keys()
                 .copied()
@@ -339,16 +575,17 @@ impl Simulation {
             // Multi-node-capable jobs can spill across the whole cluster.
             return (job.n_gpus as usize) <= self.cluster.n_gpus();
         }
-        self.cluster
-            .machines()
-            .any(|m| self.cluster.machine(m).n_gpus() >= job.n_gpus as usize)
+        (job.n_gpus as usize) <= self.max_machine_gpus
     }
 
     fn process_completions(&mut self) {
         let mut i = 0;
         while i < self.running.len() {
             if self.running[i].finished() {
-                let done = self.running.swap_remove(i);
+                let done = self.remove_running(i);
+                for m in done.alloc.machines() {
+                    self.mark_dirty(m);
+                }
                 let alloc = self.scheduler.complete(done.alloc.spec.id);
                 debug_assert_eq!(alloc.gpus, done.alloc.gpus);
                 let ideal = self.ideal_for(&done.alloc.spec);
@@ -379,13 +616,14 @@ impl Simulation {
         }
     }
 
-    /// Brings scheduled machines back online.
+    /// Brings scheduled machines back online. A recovered machine is empty,
+    /// so no running job's slowdown can change — nothing to mark dirty.
     fn process_recoveries(&mut self) {
-        while let Some(&(t, machine)) = self.pending_recoveries.first() {
+        while let Some(&(t, machine)) = self.pending_recoveries.get(self.recovery_cursor) {
             if t > self.now + 1e-9 {
                 break;
             }
-            self.pending_recoveries.remove(0);
+            self.recovery_cursor += 1;
             if self.scheduler.state().is_machine_down(machine) {
                 self.scheduler.recover_machine(machine);
             }
@@ -407,37 +645,144 @@ impl Simulation {
     fn run_scheduler(&mut self) {
         let outcomes = self.scheduler.run_iteration();
         for outcome in outcomes {
-            if let PlacementOutcome::PostponedLowUtility { id, .. } = &outcome {
-                self.events.push(SimEvent::Postponed { t_s: self.now, job: *id });
-            }
-            if let PlacementOutcome::Placed { spec, gpus: _, utility, .. } = outcome {
-                self.events.push(SimEvent::Placed {
-                    t_s: self.now,
-                    job: spec.id,
-                    utility,
-                });
-                let alloc = self
-                    .scheduler
-                    .state()
-                    .allocation(spec.id)
-                    .expect("just placed")
-                    .clone();
-                let mut job = RunningJob::start(alloc, &self.cluster, self.now);
-                job.remaining_solo_s *= jitter_factor(
-                    self.config.jitter_seed,
-                    job.alloc.spec.id.0,
-                    self.config.jitter,
-                );
-                self.running.push(job);
+            match outcome {
+                PlacementOutcome::PostponedLowUtility { id, .. } => {
+                    self.events.push(SimEvent::Postponed { t_s: self.now, job: id });
+                }
+                PlacementOutcome::Placed { spec, gpus, utility, .. } => {
+                    self.events.push(SimEvent::Placed {
+                        t_s: self.now,
+                        job: spec.id,
+                        utility,
+                    });
+                    // The outcome owns the same spec/gpus/utility the
+                    // scheduler just committed to its state, so the running
+                    // entry is built directly from it — no state lookup, no
+                    // clone.
+                    #[cfg(debug_assertions)]
+                    {
+                        let placed =
+                            self.scheduler.state().allocation(spec.id).expect("just placed");
+                        assert_eq!(placed.gpus, gpus);
+                        assert_eq!(placed.utility.to_bits(), utility.to_bits());
+                    }
+                    let alloc = Allocation { spec, gpus, utility };
+                    let mut job = RunningJob::start(alloc, &self.cluster, self.now);
+                    if self.config.jitter != 0.0 {
+                        job.remaining_solo_s *= jitter_factor(
+                            self.config.jitter_seed,
+                            job.alloc.spec.id.0,
+                            self.config.jitter,
+                        );
+                    }
+                    for m in job.alloc.machines() {
+                        self.mark_dirty(m);
+                    }
+                    self.push_running(job);
+                }
+                PlacementOutcome::WaitingForCapacity { .. } => {}
             }
         }
     }
 
     fn refresh_slowdowns(&mut self) {
+        if self.config.incremental {
+            self.refresh_dirty_slowdowns();
+            return;
+        }
         let snapshot: Vec<RunningJob> = self.running.clone();
         let refs: Vec<&RunningJob> = snapshot.iter().collect();
         for r in &mut self.running {
             r.slowdown = current_slowdown(r, &refs, &self.cluster);
+            self.stats.note_eval(r.alloc.spec.id);
+        }
+    }
+
+    /// Machine-scoped refresh: re-derives slowdowns only for jobs holding
+    /// GPUs on machines in the dirty set.
+    ///
+    /// **Why this is exact** — a job's slowdown is
+    /// `total_slowdown(victim, corunners)` where the co-runner list holds
+    /// `(model, batch, max_domain_factor)` for every *other* running job
+    /// sharing at least one machine, in running-vector order. For a job
+    /// with no GPU on a dirty machine: (1) no allocation on any of its
+    /// machines was created, destroyed, or resized (every such change marks
+    /// the machine dirty), so its co-runner set and every shared-domain
+    /// factor are unchanged; (2) no co-runner changed its position in the
+    /// running vector (`swap_remove` relocations mark the moved job's
+    /// machines dirty), so the summation *order* is unchanged too. The
+    /// reference recomputation would therefore reproduce the stored value
+    /// bit for bit — skipping it changes nothing. Debug builds verify this
+    /// with a full O(J²) shadow recompute after every scoped refresh.
+    fn refresh_dirty_slowdowns(&mut self) {
+        if !self.dirty_list.is_empty() {
+            let mut victims: Vec<usize> = Vec::new();
+            for &m in &self.dirty_list {
+                for &id in self.scheduler.state().jobs_on_machine(m) {
+                    victims.push(self.job_pos[&id]);
+                }
+            }
+            for &m in &self.dirty_list {
+                self.dirty_mask[m.index()] = false;
+            }
+            self.dirty_list.clear();
+            victims.sort_unstable();
+            victims.dedup();
+
+            let mut updates: Vec<(usize, f64)> = Vec::with_capacity(victims.len());
+            for &pos in &victims {
+                let victim = &self.running[pos];
+                // Co-runners via the per-machine index, sorted into
+                // running-vector order: the same filtered list (and the
+                // same f64 summation order) the reference full scan builds.
+                let mut co_pos: Vec<usize> = Vec::new();
+                for m in victim.alloc.machines() {
+                    for &id in self.scheduler.state().jobs_on_machine(m) {
+                        let p = self.job_pos[&id];
+                        if p != pos {
+                            co_pos.push(p);
+                        }
+                    }
+                }
+                co_pos.sort_unstable();
+                co_pos.dedup();
+                let refs: Vec<&RunningJob> =
+                    co_pos.iter().map(|&p| &self.running[p]).collect();
+                updates.push((pos, current_slowdown(victim, &refs, &self.cluster)));
+            }
+            for (pos, slowdown) in updates {
+                let id = self.running[pos].alloc.spec.id;
+                self.stats.note_eval(id);
+                self.running[pos].slowdown = slowdown;
+                // Re-key the completion heap with the exact post-refresh
+                // completion time; the old entry (if any) goes stale and is
+                // skipped at poll time.
+                let t = self.now + self.running[pos].eta_s();
+                debug_assert!(t.is_finite() && t >= 0.0);
+                let bits = t.to_bits();
+                if self.heap_key.insert(id, bits) != Some(bits) {
+                    self.completion_heap.push(Reverse((bits, id)));
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.debug_verify_slowdowns();
+    }
+
+    /// Debug shadow check: the scoped refresh must leave every running
+    /// job's slowdown bit-identical to a full reference recomputation.
+    #[cfg(debug_assertions)]
+    fn debug_verify_slowdowns(&self) {
+        let refs: Vec<&RunningJob> = self.running.iter().collect();
+        for r in &self.running {
+            let want = current_slowdown(r, &refs, &self.cluster);
+            assert_eq!(
+                want.to_bits(),
+                r.slowdown.to_bits(),
+                "scoped refresh diverged for {}: want {want}, have {}",
+                r.alloc.spec.id,
+                r.slowdown
+            );
         }
     }
 
@@ -450,7 +795,17 @@ impl Simulation {
         self.utility_series.push(UtilitySample { t_s: self.now, mean_utility: mean });
     }
 
-    fn ideal_for(&self, spec: &JobSpec) -> f64 {
+    fn ideal_for(&mut self, spec: &JobSpec) -> f64 {
+        // `ideal_duration_s` depends only on the spec shape and the (fixed)
+        // machine set — memoize it for graph-free jobs. Jobs with an
+        // explicit communication graph are costed per edge, so their key
+        // would have to include the graph; they stay uncached.
+        let key = (spec.model, spec.batch, spec.n_gpus, spec.iterations);
+        if spec.comm_graph.is_none() {
+            if let Some(&v) = self.ideal_cache.get(&key) {
+                return v;
+            }
+        }
         // Homogeneous clusters (the paper's setting): machine 0 is
         // representative. For heterogeneous clusters, take the fastest.
         let best = self
@@ -459,12 +814,16 @@ impl Simulation {
             .filter(|&m| self.cluster.machine(m).n_gpus() >= spec.n_gpus as usize)
             .map(|m| ideal_duration_s(spec, self.cluster.machine(m)))
             .fold(f64::INFINITY, f64::min);
-        if best.is_finite() {
+        let v = if best.is_finite() {
             best
         } else {
             // Wider than any machine: the floor is a rack-local spill.
             crate::ideal::ideal_multi_node_duration_s(spec)
+        };
+        if spec.comm_graph.is_none() {
+            self.ideal_cache.insert(key, v);
         }
+        v
     }
 }
 
@@ -691,5 +1050,90 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Both event loops must agree on a workload that exercises queueing,
+    /// interference, and staggered completions.
+    #[test]
+    fn incremental_and_reference_loops_agree() {
+        let (c, p) = setup(2);
+        let trace: Vec<JobSpec> = (0..16)
+            .map(|i| {
+                job(
+                    i,
+                    [1u32, 2, 2, 4][(i % 4) as usize],
+                    BatchClass::ALL[(i % 4) as usize],
+                    i as f64 * 3.0,
+                    120,
+                )
+            })
+            .collect();
+        for kind in PolicyKind::ALL {
+            let run = |incremental: bool| {
+                Simulation::new(
+                    Arc::clone(&c),
+                    Arc::clone(&p),
+                    SimConfig::new(Policy::new(kind)).with_incremental(incremental),
+                )
+                .run(trace.clone())
+            };
+            let inc = run(true);
+            let reference = run(false);
+            assert_eq!(inc.records, reference.records, "{kind}");
+            assert_eq!(inc.events, reference.events, "{kind}");
+            assert_eq!(inc.makespan_s.to_bits(), reference.makespan_s.to_bits(), "{kind}");
+        }
+    }
+
+    /// The failure cursor must apply scripted failures exactly like the old
+    /// `Vec::remove(0)` pop, including skipping already-down machines.
+    #[test]
+    fn failure_and_recovery_cursors_apply_in_order() {
+        let (c, p) = setup(2);
+        let trace = vec![
+            job(0, 2, BatchClass::Small, 0.0, 2000),
+            job(1, 2, BatchClass::Small, 0.0, 2000),
+        ];
+        let config = SimConfig::new(Policy::new(PolicyKind::TopoAware))
+            .with_machine_failures(vec![
+                (10.0, MachineId(0)),
+                (20.0, MachineId(0)), // already down: skipped
+                (30.0, MachineId(1)),
+            ])
+            .with_machine_recoveries(vec![(40.0, MachineId(0)), (50.0, MachineId(1))]);
+        let res = Simulation::new(c, p, config).run(trace);
+        assert_eq!(
+            res.failures,
+            vec![(10.0, MachineId(0)), (30.0, MachineId(1))]
+        );
+        // Both jobs restart after their machines fail and still finish.
+        assert_eq!(res.records.len(), 2);
+        for r in &res.records {
+            assert!(r.restarts >= 1, "{} never restarted", r.spec.id);
+        }
+    }
+
+    /// The admission pre-pass must reject oversized jobs with the cached
+    /// machine width, identically to the old per-job cluster scan.
+    #[test]
+    fn eval_counters_are_populated() {
+        let (c, p) = setup(1);
+        let trace = vec![
+            job(0, 2, BatchClass::Tiny, 0.0, 100),
+            job(1, 2, BatchClass::Tiny, 0.0, 100),
+        ];
+        let (res, stats) = Simulation::new(
+            c,
+            p,
+            SimConfig::new(Policy::new(PolicyKind::TopoAware)),
+        )
+        .run_with_stats(trace);
+        assert_eq!(res.records.len(), 2);
+        assert!(stats.slowdown_evals >= 2, "got {}", stats.slowdown_evals);
+        assert_eq!(
+            stats.slowdown_evals,
+            stats.evals_by_job.values().sum::<u64>()
+        );
+        assert!(stats.evals_for(gts_job::JobId(0)) >= 1);
     }
 }

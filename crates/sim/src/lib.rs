@@ -11,7 +11,10 @@
 //!
 //! * [`runtime`] — running-job state: remaining work, current rate,
 //!   slowdown re-evaluation;
-//! * [`engine`] — the event loop (arrivals, completions, scheduler wakeups);
+//! * [`engine`] — the event loop (arrivals, completions, scheduler
+//!   wakeups), in two bit-identical flavours: an O(J²)-per-event reference
+//!   and an incremental loop (machine-scoped slowdown refresh + lazy
+//!   completion heap) selected by `GTS_SIM_INCREMENTAL`;
 //! * [`metrics`] — per-job records (QoS slowdown, QoS+wait slowdown,
 //!   utility, SLO violations), timelines and summary statistics;
 //! * [`ideal`] — the "fastest execution" baseline every slowdown is
@@ -26,7 +29,7 @@ pub mod metrics;
 pub mod runtime;
 
 pub use bandwidth::{bandwidth_series, MachineBandwidthSeries};
-pub use engine::{SimConfig, Simulation};
+pub use engine::{SimConfig, SimLoopStats, Simulation};
 pub use ideal::ideal_duration_s;
 pub use metrics::{JobRecord, SimEvent, SimResult, TimelineSegment};
 pub use runtime::RunningJob;

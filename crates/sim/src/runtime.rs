@@ -5,6 +5,14 @@
 //! where the slowdown is the Fig. 6 aggregate over its current co-runners.
 //! The engine calls [`RunningJob::advance`] to integrate progress between
 //! events and re-derives rates whenever the running set changes.
+//!
+//! [`current_slowdown`] is a pure function of the victim's allocation and
+//! the *ordered* co-runner list: jobs couple only through machines they
+//! share (`max_domain_factor` is 0 otherwise), and the aggregate sums
+//! per-pair slowdowns in list order. The engine's incremental mode leans
+//! on both properties — an event that touches no machine of a job, and
+//! moves none of its co-runners within the running vector, provably cannot
+//! change that job's slowdown bits.
 
 use gts_perf::{total_slowdown, IterTime, PlacementPerf};
 use gts_sched::Allocation;
@@ -82,6 +90,11 @@ impl RunningJob {
 /// Two jobs interfere through each machine they share; the strongest shared
 /// bus domain wins (a pair sharing both a socket and the machine bus is
 /// dominated by the socket coupling).
+///
+/// `others` may be the full running set or any superset of the victim's
+/// machine-sharers: non-sharers contribute factor 0 and are filtered out,
+/// so both calls return the same bits *provided the surviving co-runners
+/// appear in the same order* (the final sum is order-sensitive in f64).
 pub fn current_slowdown(
     victim: &RunningJob,
     others: &[&RunningJob],

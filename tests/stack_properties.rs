@@ -156,6 +156,68 @@ fn evaluation_engine_is_bit_identical_to_sequential_reference() {
     }
 }
 
+/// One traced simulation with an explicit event-loop selection. Even seeds
+/// script a failure/recovery cycle (exercising teardown, resubmission, and
+/// dirty-set marking across machines); seeds divisible by 3 add execution
+/// jitter so per-job rates are irrational multiples of each other and the
+/// completion heap sees no artificial ties.
+fn simulate_with_loop(
+    seed: u64,
+    n_machines: usize,
+    kind: PolicyKind,
+    incremental: bool,
+) -> SimResult {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+    let trace = WorkloadGenerator::with_defaults(seed).generate(24);
+    let mut config = SimConfig::new(Policy::new(kind))
+        .with_trace()
+        .with_incremental(incremental);
+    if seed.is_multiple_of(2) {
+        config = config
+            .with_machine_failures(vec![(50.0, MachineId(1))])
+            .with_machine_recoveries(vec![(400.0, MachineId(1))]);
+    }
+    if seed.is_multiple_of(3) {
+        config = config.with_jitter(0.08, seed.wrapping_mul(0x9E37_79B9) + 1);
+    }
+    Simulation::new(cluster, profiles, config).run(trace)
+}
+
+/// The incremental event loop (machine-scoped slowdown refresh, completion
+/// heap, schedule cursors) must be bit-identical to the recompute-everything
+/// reference loop: same records, same trace, same events, same makespan
+/// bits, for every policy across many seeds, including machine-failure and
+/// jitter runs. (`mean_decision_s` is wall-clock and legitimately differs.)
+#[test]
+fn incremental_event_loop_is_bit_identical_to_reference() {
+    for kind in PolicyKind::ALL {
+        for seed in 0..8u64 {
+            let n_machines = 2 + (seed as usize % 3);
+            let reference = simulate_with_loop(seed, n_machines, kind, false);
+            let inc = simulate_with_loop(seed, n_machines, kind, true);
+            let ctx = format!("{kind:?} seed {seed} ({n_machines} machines)");
+            assert_eq!(reference.policy, inc.policy, "{ctx}: policy");
+            assert_eq!(reference.records, inc.records, "{ctx}: records");
+            assert_eq!(reference.unplaceable, inc.unplaceable, "{ctx}: unplaceable");
+            assert_eq!(reference.timeline, inc.timeline, "{ctx}: timeline");
+            assert_eq!(reference.utility_series, inc.utility_series, "{ctx}: utility series");
+            assert_eq!(
+                reference.makespan_s.to_bits(),
+                inc.makespan_s.to_bits(),
+                "{ctx}: makespan {} vs {}",
+                reference.makespan_s,
+                inc.makespan_s
+            );
+            assert_eq!(reference.slo_violations, inc.slo_violations, "{ctx}: SLO violations");
+            assert_eq!(reference.failures, inc.failures, "{ctx}: failures");
+            assert_eq!(reference.events, inc.events, "{ctx}: events");
+            assert_eq!(reference.trace, inc.trace, "{ctx}: decision trace");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
