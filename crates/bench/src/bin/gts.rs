@@ -126,6 +126,18 @@ fn run_bench(args: &[String]) -> ExitCode {
         report.sim_loop_speedup,
         if smoke { "  [smoke — not comparable]" } else { "" },
     );
+    println!(
+        "arrival/topo256 warm-cache speedup (cold/warm): {:.2}x{}",
+        report.warm_arrival_speedup,
+        if smoke { "  [smoke — not comparable]" } else { "" },
+    );
+    println!(
+        "sim/large placement-cache speedup (incremental/cached): {:.2}x, \
+         hit rate {:.3}{}",
+        report.sim_cache_speedup,
+        report.eval_cache_hit_rate,
+        if smoke { "  [smoke — not comparable]" } else { "" },
+    );
     if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -283,6 +295,16 @@ fn print_event(event: &TraceEvent) {
         }
         TraceEvent::MachineRecovered { t_s, machine } => {
             println!("[{:>9}s] {machine} recovered", f(*t_s, 1));
+        }
+        TraceEvent::EvalCacheStats { t_s, hits, misses, evictions } => {
+            let total = hits + misses;
+            let rate = if total == 0 { 0.0 } else { *hits as f64 / total as f64 };
+            println!(
+                "[{:>9}s] placement cache: {hits} hit(s), {misses} miss(es), \
+                 {evictions} eviction(s) ({} hit rate)",
+                f(*t_s, 1),
+                f(rate, 3),
+            );
         }
     }
 }

@@ -23,13 +23,10 @@ where
     }
     let n = items.len();
     let n_workers = threads.min(n);
-    let (tx_work, rx_work) = crossbeam::channel::unbounded::<(usize, T)>();
-    for pair in items.into_iter().enumerate() {
-        if tx_work.send(pair).is_err() {
-            unreachable!("work queue closed before workers spawned");
-        }
-    }
-    drop(tx_work);
+    // Bounded work queue: the producer runs inside the scope and stays at
+    // most 2×workers ahead of the slowest worker, instead of materializing
+    // every (index, item) pair up front before a single worker starts.
+    let (tx_work, rx_work) = crossbeam::channel::bounded::<(usize, T)>(2 * n_workers);
     let (tx_out, rx_out) = crossbeam::channel::unbounded::<(usize, R)>();
     let f = &f;
     std::thread::scope(|scope| {
@@ -44,6 +41,16 @@ where
                 }
             });
         }
+        // The producer must not hold a receiver: workers own the only
+        // clones, so if every worker dies the blocked send unblocks with
+        // an error instead of deadlocking.
+        drop(rx_work);
+        for pair in items.into_iter().enumerate() {
+            if tx_work.send(pair).is_err() {
+                break; // all workers gone; nothing left to feed
+            }
+        }
+        drop(tx_work);
     });
     drop(tx_out);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -70,5 +77,19 @@ mod tests {
     fn handles_empty_and_singleton() {
         assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn backpressure_keeps_order_on_large_inputs() {
+        // Far more items than the 2×workers channel capacity, with uneven
+        // per-item cost so workers finish out of order.
+        let out = par_map((0..500).collect::<Vec<u64>>(), |x| {
+            if x % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x.wrapping_mul(x) ^ 0xABCD
+        });
+        let want: Vec<u64> = (0..500).map(|x: u64| x.wrapping_mul(x) ^ 0xABCD).collect();
+        assert_eq!(out, want);
     }
 }

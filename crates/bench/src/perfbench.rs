@@ -6,12 +6,16 @@
 //! 1. **`drb_map`** — one Algorithm 2/3 mapping on an idle Minsky machine;
 //! 2. **`arrival`** — a full TOPO-AWARE `decide` on a 64-machine
 //!    mostly-idle cluster, sequential reference vs the memoized+parallel
-//!    engine (the ISSUE 2 acceptance measurement);
+//!    engine (the ISSUE 2 acceptance measurement), plus a 256-machine
+//!    cold-engine vs warm cross-event-cache arrival (DESIGN.md §9);
 //! 3. **`sim`** — a whole small fig10-style simulation under both paths;
 //! 4. **`sim/large_*`** — a large-cluster simulation (256 machines, 2 048
-//!    jobs, arrivals dense enough that many jobs run concurrently),
-//!    incremental event loop vs the recompute-everything reference (the
-//!    ISSUE 4 acceptance measurement).
+//!    jobs, arrivals dense enough that many jobs run concurrently):
+//!    recompute-everything reference vs incremental event loop (the
+//!    ISSUE 4 acceptance measurement) vs incremental + cross-event
+//!    placement cache (the ISSUE 5 acceptance measurement). The hit rate
+//!    of the cached run is measured separately via `run_with_stats` and
+//!    reported as `eval_cache_hit_rate`.
 
 use crate::experiments::minsky_cluster;
 use criterion::{black_box, Criterion};
@@ -49,6 +53,17 @@ pub struct BenchReport {
     /// large-cluster simulation (`sim/large_reference` /
     /// `sim/large_incremental`).
     pub sim_loop_speedup: f64,
+    /// Cold-engine mean over warm-cache mean for the 256-machine arrival
+    /// (`arrival/topo256_cold` / `arrival/topo256_warm`) — what a
+    /// steady-state arrival saves when its classes are already cached.
+    pub warm_arrival_speedup: f64,
+    /// Incremental mean over incremental+cache mean for the large-cluster
+    /// simulation (`sim/large_incremental` / `sim/large_cached`) — the
+    /// cross-event cache's end-to-end win on top of the incremental loop.
+    pub sim_cache_speedup: f64,
+    /// hits / (hits + misses) of the placement cache over one full
+    /// `sim/large_cached`-shaped run (0 when the cache saw no lookups).
+    pub eval_cache_hit_rate: f64,
     /// All benchmark timings.
     pub results: Vec<BenchEntry>,
 }
@@ -81,6 +96,40 @@ fn mostly_idle_state(n_machines: usize) -> ClusterState {
         on_machine(MachineId(1), &[GpuId(0)]),
         1.0,
     );
+    state
+}
+
+/// A cluster of 16-GPU machines occupied with a varied tenant mix: two
+/// 1-GPU jobs per machine whose profiles cycle independently, yielding
+/// ~144 distinct machine classes (every 16th machine stays idle). An
+/// arrival here defeats the per-arrival memoizer — almost every machine
+/// is its own class — which is exactly the steady-state shape where the
+/// cross-event cache pays: the cold engine runs one full DRB evaluation
+/// over 14 free GPUs per class, a warm cache answers every class from
+/// memory.
+fn diverse_state(n_machines: usize) -> ClusterState {
+    let machine = symmetric_machine("wide16", 4, 4, LinkProfile::nvlink_dual());
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+    let mut state = ClusterState::new(cluster, profiles);
+    let models = [NnModel::AlexNet, NnModel::CaffeRef, NnModel::GoogLeNet];
+    let batches =
+        [BatchClass::Tiny, BatchClass::Small, BatchClass::Medium, BatchClass::Big];
+    let mut id = 10_000u64;
+    for m in 0..n_machines {
+        if m % 16 == 0 {
+            continue;
+        }
+        // The two tenant profiles cycle with coprime-ish periods so the
+        // (tenant 0, tenant 1) pair walks all 12×12 combinations.
+        let machine = MachineId(m as u32);
+        for mix in [m % 12, (m / 12) % 12] {
+            let spec = JobSpec::new(id, models[mix % 3], batches[mix / 3], 1);
+            id += 1;
+            let free = state.free_gpus(machine);
+            state.place(spec, on_machine(machine, &free[..1]), 1.0);
+        }
+    }
     state
 }
 
@@ -123,6 +172,27 @@ pub fn run(smoke: bool) -> BenchReport {
         b.iter(|| black_box(policy.decide_with(&state, &job, engine)))
     });
 
+    // 2b. The cross-event cache at scale: a 4-GPU arrival on 256
+    // diversely occupied 16-GPU machines (~144 distinct classes, so the
+    // per-arrival memoizer barely helps). Cold pays one DRB evaluation
+    // per class every time; warm consults a persistent cache already
+    // holding every class this state produces (one priming decision), so
+    // the decision reduces to class grouping + lookups + the
+    // select_candidate scan.
+    let state = diverse_state(256);
+    let wide_job =
+        JobSpec::new(1, NnModel::AlexNet, BatchClass::Tiny, 4).with_min_utility(0.5);
+    let warm_cache = EvalCache::with_capacity(4096);
+    policy.decide_with_cache(&state, &wide_job, engine, Some(&warm_cache));
+    c.bench_function("arrival/topo256_cold", |b| {
+        b.iter(|| black_box(policy.decide_with(&state, &wide_job, engine)))
+    });
+    c.bench_function("arrival/topo256_warm", |b| {
+        b.iter(|| {
+            black_box(policy.decide_with_cache(&state, &wide_job, engine, Some(&warm_cache)))
+        })
+    });
+
     // 3. A whole small simulation (fig10-shaped) under both paths.
     let mut c_sim = Criterion::default().with_sample_size(sim_samples);
     let (cluster, profiles) = minsky_cluster(5);
@@ -157,12 +227,20 @@ pub fn run(smoke: bool) -> BenchReport {
     };
     let (cluster, profiles) = minsky_cluster(large_machines);
     let trace = WorkloadGenerator::new(gen, 2002).generate(large_jobs);
-    for (label, incremental) in [("large_reference", false), ("large_incremental", true)] {
+    // The cache is toggled explicitly so `large_incremental` keeps meaning
+    // what it meant before the cache existed (A/B against committed
+    // baselines), regardless of the ambient `GTS_EVAL_CACHE`.
+    for (label, incremental, cached) in [
+        ("large_reference", false, false),
+        ("large_incremental", true, false),
+        ("large_cached", true, true),
+    ] {
         c_large.bench_function(&format!("sim/{label}"), |b| {
             b.iter(|| {
                 let config = SimConfig::new(Policy::new(PolicyKind::TopoAware))
                     .with_eval(engine)
-                    .with_incremental(incremental);
+                    .with_incremental(incremental)
+                    .with_eval_cache(cached);
                 black_box(
                     Simulation::new(Arc::clone(&cluster), Arc::clone(&profiles), config)
                         .run(trace.clone()),
@@ -170,6 +248,20 @@ pub fn run(smoke: bool) -> BenchReport {
             })
         });
     }
+
+    // One instrumented cached run for the hit rate (not timed).
+    let stats_config = SimConfig::new(Policy::new(PolicyKind::TopoAware))
+        .with_eval(engine)
+        .with_incremental(true)
+        .with_eval_cache(true);
+    let (_, loop_stats) = Simulation::new(cluster, profiles, stats_config)
+        .run_with_stats(trace);
+    let lookups = loop_stats.eval_cache_hits + loop_stats.eval_cache_misses;
+    let eval_cache_hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        loop_stats.eval_cache_hits as f64 / lookups as f64
+    };
 
     let mut results: Vec<BenchEntry> = c
         .take_records()
@@ -190,6 +282,9 @@ pub fn run(smoke: bool) -> BenchReport {
         smoke,
         arrival_speedup: 0.0,
         sim_loop_speedup: 0.0,
+        warm_arrival_speedup: 0.0,
+        sim_cache_speedup: 0.0,
+        eval_cache_hit_rate,
         results,
     };
     let ratio = |num: &str, den: &str| match (report.mean_ns(num), report.mean_ns(den)) {
@@ -198,7 +293,15 @@ pub fn run(smoke: bool) -> BenchReport {
     };
     let arrival_speedup = ratio("arrival/topo64_sequential", "arrival/topo64_engine");
     let sim_loop_speedup = ratio("sim/large_reference", "sim/large_incremental");
-    BenchReport { arrival_speedup, sim_loop_speedup, ..report }
+    let warm_arrival_speedup = ratio("arrival/topo256_cold", "arrival/topo256_warm");
+    let sim_cache_speedup = ratio("sim/large_incremental", "sim/large_cached");
+    BenchReport {
+        arrival_speedup,
+        sim_loop_speedup,
+        warm_arrival_speedup,
+        sim_cache_speedup,
+        ..report
+    }
 }
 
 #[cfg(test)]
@@ -214,10 +317,13 @@ mod tests {
             "drb_map/minsky_4gpu",
             "arrival/topo64_sequential",
             "arrival/topo64_engine",
+            "arrival/topo256_cold",
+            "arrival/topo256_warm",
             "sim/fig10_slice_sequential",
             "sim/fig10_slice_engine",
             "sim/large_reference",
             "sim/large_incremental",
+            "sim/large_cached",
         ] {
             assert!(
                 report.mean_ns(label).is_some_and(|ns| ns > 0),
@@ -226,11 +332,22 @@ mod tests {
         }
         assert!(report.arrival_speedup > 0.0);
         assert!(report.sim_loop_speedup > 0.0);
+        assert!(report.warm_arrival_speedup > 0.0);
+        assert!(report.sim_cache_speedup > 0.0);
+        assert!(
+            (0.0..=1.0).contains(&report.eval_cache_hit_rate),
+            "hit rate must be a ratio, got {}",
+            report.eval_cache_hit_rate
+        );
         let json = report.to_json();
         assert!(json.contains("arrival_speedup"));
         assert!(json.contains("sim_loop_speedup"));
+        assert!(json.contains("warm_arrival_speedup"));
+        assert!(json.contains("sim_cache_speedup"));
+        assert!(json.contains("eval_cache_hit_rate"));
         assert!(json.contains("topo64_engine"));
         assert!(json.contains("large_incremental"));
+        assert!(json.contains("large_cached"));
     }
 
     #[test]

@@ -56,6 +56,43 @@ impl AffinityGraph {
         Self { gpus, n, weights }
     }
 
+    /// Like [`AffinityGraph::from_distances`], but filling previously
+    /// allocated buffers instead of allocating. The DRB recursion builds
+    /// one graph per level, so reusing the `n × n` matrix removes the
+    /// largest allocation from the mapper's hot path; buffers come back
+    /// out through [`AffinityGraph::into_buffers`].
+    pub fn from_distances_reusing<F>(
+        source: &[GpuId],
+        mut gpus: Vec<GpuId>,
+        mut weights: Vec<f64>,
+        mut distance: F,
+    ) -> Self
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        gpus.clear();
+        gpus.extend_from_slice(source);
+        let n = gpus.len();
+        weights.clear();
+        weights.resize(n * n, 0.0);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = distance(i, j);
+                assert!(d > 0.0, "distinct vertices need positive distance");
+                let a = 1.0 / d;
+                weights[i * n + j] = a;
+                weights[j * n + i] = a;
+            }
+        }
+        Self { gpus, n, weights }
+    }
+
+    /// Decomposes the graph into its `(gpus, weights)` buffers so a caller
+    /// can reuse the allocations for the next build.
+    pub fn into_buffers(self) -> (Vec<GpuId>, Vec<f64>) {
+        (self.gpus, self.weights)
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn len(&self) -> usize {

@@ -14,11 +14,27 @@
 //! partners.
 
 use crate::affinity::AffinityGraph;
-use crate::fm::fm_bipartition;
+use crate::fm::{fm_bipartition_with, Bipartition, FmScratch};
 use crate::utility::UtilityWeights;
 use gts_job::JobGraph;
 use gts_topo::GpuId;
+use std::cell::RefCell;
 use std::fmt;
+
+/// Reusable buffers for one thread's [`drb_map`] calls: the FM scratch plus
+/// pools of affinity-graph buffers (one set per live recursion level —
+/// each level returns its buffers before recursing, so the pools stay at
+/// depth-of-recursion size).
+#[derive(Debug, Default)]
+struct DrbScratch {
+    fm: FmScratch,
+    gpu_bufs: Vec<Vec<GpuId>>,
+    weight_bufs: Vec<Vec<f64>>,
+}
+
+thread_local! {
+    static DRB_SCRATCH: RefCell<DrbScratch> = RefCell::new(DrbScratch::default());
+}
 
 /// Live-cluster queries the mapping needs but cannot own (allocation state,
 /// running-job profiles). Implemented by the scheduler; tests use mocks.
@@ -181,6 +197,7 @@ fn job_graph_bipartition(
 }
 
 /// Algorithm 2: recursive mapping step. `assignment[task] = gpu`.
+#[allow(clippy::too_many_arguments)]
 fn drb_recurse(
     job: &JobGraph,
     tasks: &[usize],
@@ -189,6 +206,7 @@ fn drb_recurse(
     oracle: &dyn PlacementOracle,
     weights: UtilityWeights,
     assignment: &mut [Option<GpuId>],
+    scratch: &mut DrbScratch,
 ) {
     if tasks.is_empty() {
         return; // this partition is not a candidate
@@ -213,34 +231,50 @@ fn drb_recurse(
     // split ratios are tried and compared by *ratio cut* —
     // cut / (|left|·|right|) — which is scale-free across imbalances.
     let n = gpus.len();
-    let affinity = AffinityGraph::from_distances(gpus.to_vec(), |i, j| {
+    let gpu_buf = scratch.gpu_bufs.pop().unwrap_or_default();
+    let weight_buf = scratch.weight_bufs.pop().unwrap_or_default();
+    let affinity = AffinityGraph::from_distances_reusing(gpus, gpu_buf, weight_buf, |i, j| {
         oracle.distance(gpus[i], gpus[j])
     });
-    let mut targets: Vec<usize> = if n <= 32 {
-        (1..n).collect()
+    // Sweep targets and keep the best ratio cut; on ties the later target
+    // wins, matching what `Iterator::min_by` over the collected sweep did.
+    let mut best: Option<Bipartition> = None;
+    let mut best_ratio = f64::INFINITY;
+    let mut try_target = |t: usize, scratch: &mut DrbScratch| {
+        let candidate = fm_bipartition_with(&affinity, t, 3, &mut scratch.fm);
+        let left = candidate.side.iter().filter(|&&s| s).count();
+        let ratio = candidate.cut / (left * (n - left)) as f64;
+        assert!(ratio.is_finite(), "finite ratio cuts");
+        if best.is_none() || ratio <= best_ratio {
+            best_ratio = ratio;
+            best = Some(candidate);
+        }
+    };
+    if n <= 32 {
+        for t in 1..n {
+            try_target(t, scratch);
+        }
     } else {
         // A 15-point sweep keeps large (cluster-wide spill) instances
-        // tractable while still straddling machine-sized boundaries.
-        (1..16).map(|k| k * n / 16).collect()
-    };
-    targets.retain(|&t| t >= 1 && t < n);
-    targets.sort_unstable();
-    targets.dedup();
-    let split = targets
-        .into_iter()
-        .map(|t| fm_bipartition(&affinity, t, 3))
-        .min_by(|a, b| {
-            let ra = a.cut / (a.left().len() * a.right().len()) as f64;
-            let rb = b.cut / (b.left().len() * b.right().len()) as f64;
-            ra.partial_cmp(&rb).expect("finite ratio cuts")
-        })
-        .expect("at least one target is valid for n ≥ 2");
-    let p0: Vec<GpuId> = split.left().iter().map(|&i| gpus[i]).collect();
-    let p1: Vec<GpuId> = split.right().iter().map(|&i| gpus[i]).collect();
+        // tractable while still straddling machine-sized boundaries. For
+        // n > 32 the points are strictly increasing and interior, so no
+        // dedup or range filter is needed.
+        for k in 1..16 {
+            try_target(k * n / 16, scratch);
+        }
+    }
+    let split = best.expect("at least one target is valid for n ≥ 2");
+    let p0: Vec<GpuId> = (0..n).filter(|&i| split.side[i]).map(|i| gpus[i]).collect();
+    let p1: Vec<GpuId> = (0..n).filter(|&i| !split.side[i]).map(|i| gpus[i]).collect();
+    // The graph is done before the recursion starts: hand its buffers back
+    // so the child levels (and the next drb_map call) reuse them.
+    let (gpu_buf, weight_buf) = affinity.into_buffers();
+    scratch.gpu_bufs.push(gpu_buf);
+    scratch.weight_bufs.push(weight_buf);
 
     let (t0, t1, c0, c1) = job_graph_bipartition(job, tasks, c, &p0, &p1, oracle, weights);
-    drb_recurse(job, &t0, &c0, &p0, oracle, weights, assignment);
-    drb_recurse(job, &t1, &c1, &p1, oracle, weights, assignment);
+    drb_recurse(job, &t0, &c0, &p0, oracle, weights, assignment, scratch);
+    drb_recurse(job, &t1, &c1, &p1, oracle, weights, assignment, scratch);
 }
 
 /// Maps a job's communication graph onto the available GPUs.
@@ -263,7 +297,23 @@ pub fn drb_map(
     let tasks: Vec<usize> = (0..n).collect();
     let c = vec![0.0; n];
     let mut assignment: Vec<Option<GpuId>> = vec![None; n];
-    drb_recurse(job, &tasks, &c, available, oracle, weights, &mut assignment);
+    DRB_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => {
+            drb_recurse(job, &tasks, &c, available, oracle, weights, &mut assignment, &mut s);
+        }
+        // Re-entrant call (an oracle callback mapping again): fall back to
+        // a fresh scratch rather than panicking on the RefCell.
+        Err(_) => drb_recurse(
+            job,
+            &tasks,
+            &c,
+            available,
+            oracle,
+            weights,
+            &mut assignment,
+            &mut DrbScratch::default(),
+        ),
+    });
     let out: Vec<GpuId> = assignment
         .into_iter()
         .map(|a| a.expect("every task is assigned by the recursion"))

@@ -14,6 +14,7 @@
 //! budget and preserves FM's pass semantics exactly.
 
 use crate::affinity::AffinityGraph;
+use std::cell::RefCell;
 
 /// Result of a bipartition: `side[i]` is `true` when vertex `i` landed in
 /// the left part.
@@ -34,6 +35,67 @@ impl Bipartition {
     /// Vertex indices of the right part.
     pub fn right(&self) -> Vec<usize> {
         (0..self.side.len()).filter(|&i| !self.side[i]).collect()
+    }
+}
+
+/// Reusable buffers for [`fm_bipartition_with`]: one allocation set per
+/// thread instead of per call. The DRB recursion runs FM once per split
+/// ratio per level, so the per-call seed/gain/lock vectors dominated the
+/// mapper's allocation profile before hoisting them here.
+#[derive(Debug, Default)]
+pub struct FmScratch {
+    /// The four deterministic multi-start seed partitions.
+    seeds: [Vec<bool>; 4],
+    /// Best side assignment of the seed currently being refined.
+    best_side: Vec<bool>,
+    /// Per-pass move locks.
+    locked: Vec<bool>,
+    /// Working side assignment during a pass.
+    cur_side: Vec<bool>,
+    /// Incrementally maintained move gains.
+    gains: Vec<f64>,
+    /// Move sequence of the current pass.
+    moves: Vec<usize>,
+    /// Staging buffer for adopting the best balanced prefix.
+    adopted: Vec<bool>,
+    /// Side assignment of the best seed seen so far.
+    winner: Vec<bool>,
+}
+
+impl FmScratch {
+    /// Writes the four deterministic seed partitions (prefix, suffix,
+    /// interleaved, greedy-affinity) into `self.seeds`, reusing their
+    /// buffers.
+    fn fill_seeds(&mut self, g: &AffinityGraph, target_left: usize) {
+        let n = g.len();
+        // Prefix: the first `target_left` vertices.
+        self.seeds[0].clear();
+        self.seeds[0].extend((0..n).map(|i| i < target_left));
+        // Suffix: the last `target_left` vertices.
+        self.seeds[1].clear();
+        self.seeds[1].extend((0..n).map(|i| i >= n - target_left));
+        // Interleaved: evens first (a deliberately scrambled seed).
+        self.seeds[2].clear();
+        self.seeds[2].resize(n, false);
+        for v in (0..n).step_by(2).chain((1..n).step_by(2)).take(target_left) {
+            self.seeds[2][v] = true;
+        }
+        // Greedy: grow the left side from vertex 0 by max affinity to the set.
+        self.seeds[3].clear();
+        self.seeds[3].resize(n, false);
+        self.seeds[3][0] = true;
+        for _ in 1..target_left {
+            let in_left = &self.seeds[3];
+            let pick = (0..n)
+                .filter(|&v| !in_left[v])
+                .max_by(|&a, &b| {
+                    let fa = g.affinity_to_side(a, in_left, true);
+                    let fb = g.affinity_to_side(b, in_left, true);
+                    fa.partial_cmp(&fb).expect("finite").then(b.cmp(&a))
+                })
+                .expect("vertices remain");
+            self.seeds[3][pick] = true;
+        }
     }
 }
 
@@ -82,6 +144,29 @@ fn gain(g: &AffinityGraph, side: &[bool], v: usize) -> f64 {
 ///
 /// Panics unless `0 < target_left < g.len()`.
 pub fn fm_bipartition(g: &AffinityGraph, target_left: usize, max_passes: usize) -> Bipartition {
+    thread_local! {
+        static SCRATCH: RefCell<FmScratch> = RefCell::new(FmScratch::default());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => fm_bipartition_with(g, target_left, max_passes, &mut s),
+        // Re-entrant call (an oracle callback partitioning again): fall
+        // back to a fresh scratch rather than panicking on the RefCell.
+        Err(_) => fm_bipartition_with(g, target_left, max_passes, &mut FmScratch::default()),
+    })
+}
+
+/// [`fm_bipartition`] with caller-owned scratch buffers — the allocation-free
+/// path the DRB recursion drives. Identical results to `fm_bipartition`.
+///
+/// # Panics
+///
+/// Panics unless `0 < target_left < g.len()`.
+pub fn fm_bipartition_with(
+    g: &AffinityGraph,
+    target_left: usize,
+    max_passes: usize,
+    s: &mut FmScratch,
+) -> Bipartition {
     let n = g.len();
     assert!(
         target_left > 0 && target_left < n,
@@ -89,84 +174,62 @@ pub fn fm_bipartition(g: &AffinityGraph, target_left: usize, max_passes: usize) 
     );
 
     // Multi-start: prefix, suffix, interleaved, and greedy-affinity seeds.
-    let seeds = initial_partitions(g, target_left);
-    let mut best: Option<Bipartition> = None;
-    for side in seeds {
-        let candidate = fm_from_initial(g, side, target_left, max_passes);
-        if best.as_ref().is_none_or(|b| candidate.cut < b.cut - 1e-12) {
-            best = Some(candidate);
+    s.fill_seeds(g, target_left);
+    let mut best_cut = f64::INFINITY;
+    let mut have_best = false;
+    for k in 0..s.seeds.len() {
+        let cut = fm_from_seed(g, target_left, max_passes, s, k);
+        if !have_best || cut < best_cut - 1e-12 {
+            best_cut = cut;
+            s.winner.clone_from(&s.best_side);
+            have_best = true;
         }
     }
-    best.expect("at least one seed partition")
+    assert!(have_best, "at least one seed partition");
+    Bipartition { side: s.winner.clone(), cut: best_cut }
 }
 
-/// Deterministic seed partitions for the multi-start search.
-fn initial_partitions(g: &AffinityGraph, target_left: usize) -> Vec<Vec<bool>> {
-    let n = g.len();
-    let mut seeds = Vec::with_capacity(4);
-    // Prefix: the first `target_left` vertices.
-    seeds.push((0..n).map(|i| i < target_left).collect());
-    // Suffix: the last `target_left` vertices.
-    seeds.push((0..n).map(|i| i >= n - target_left).collect());
-    // Interleaved: evens first (a deliberately scrambled seed).
-    let order: Vec<usize> = (0..n).step_by(2).chain((1..n).step_by(2)).collect();
-    let mut side = vec![false; n];
-    for &v in order.iter().take(target_left) {
-        side[v] = true;
-    }
-    seeds.push(side);
-    // Greedy: grow the left side from vertex 0 by max affinity to the set.
-    let mut in_left = vec![false; n];
-    in_left[0] = true;
-    for _ in 1..target_left {
-        let pick = (0..n)
-            .filter(|&v| !in_left[v])
-            .max_by(|&a, &b| {
-                let fa = g.affinity_to_side(a, &in_left, true);
-                let fb = g.affinity_to_side(b, &in_left, true);
-                fa.partial_cmp(&fb).expect("finite").then(b.cmp(&a))
-            })
-            .expect("vertices remain");
-        in_left[pick] = true;
-    }
-    seeds.push(in_left);
-    seeds
-}
-
-/// The classic FM pass loop from one initial partition.
-fn fm_from_initial(
+/// The classic FM pass loop from seed partition `s.seeds[k]`. Leaves the
+/// refined side assignment in `s.best_side` and returns its cut.
+fn fm_from_seed(
     g: &AffinityGraph,
-    initial: Vec<bool>,
     target_left: usize,
     max_passes: usize,
-) -> Bipartition {
+    s: &mut FmScratch,
+    k: usize,
+) -> f64 {
     let n = g.len();
-    let mut best_side = initial;
-    let mut best_cut = g.cut(&best_side);
+    s.best_side.clone_from(&s.seeds[k]);
+    let mut best_cut = g.cut(&s.best_side);
 
     for _ in 0..max_passes {
         let pass_start_cut = best_cut;
-        let mut locked = vec![false; n];
-        let mut cur_side = best_side.clone();
+        s.locked.clear();
+        s.locked.resize(n, false);
+        s.cur_side.clone_from(&s.best_side);
         let mut cur_cut = best_cut;
         let mut left_count = target_left;
 
         // Balance corridor during the pass: ±1 around the target so moves in
         // both directions stay possible; only exactly-balanced prefixes are
         // eligible as results.
-        let mut moves: Vec<usize> = Vec::with_capacity(n);
+        s.moves.clear();
         let mut best_prefix: Option<(usize, f64)> = None;
         // Gains are maintained incrementally: O(n²) to seed, O(n) per move.
-        let mut gains: Vec<f64> = (0..n).map(|v| gain(g, &cur_side, v)).collect();
+        s.gains.clear();
+        for v in 0..n {
+            let gv = gain(g, &s.cur_side, v);
+            s.gains.push(gv);
+        }
         for _ in 0..n {
             // Pick the unlocked vertex with max gain whose move keeps the
             // corridor.
             let mut pick: Option<(usize, f64)> = None;
             for v in 0..n {
-                if locked[v] {
+                if s.locked[v] {
                     continue;
                 }
-                let new_left = if cur_side[v] { left_count - 1 } else { left_count + 1 };
+                let new_left = if s.cur_side[v] { left_count - 1 } else { left_count + 1 };
                 if new_left + 1 < target_left
                     || new_left > target_left + 1
                     || new_left == 0
@@ -174,7 +237,7 @@ fn fm_from_initial(
                 {
                     continue;
                 }
-                let gv = gains[v];
+                let gv = s.gains[v];
                 match pick {
                     Some((_, best_g)) if gv <= best_g => {}
                     _ => pick = Some((v, gv)),
@@ -189,33 +252,33 @@ fn fm_from_initial(
                     continue;
                 }
                 let a = g.affinity(u, v);
-                if cur_side[u] == cur_side[v] {
-                    gains[u] += 2.0 * a;
+                if s.cur_side[u] == s.cur_side[v] {
+                    s.gains[u] += 2.0 * a;
                 } else {
-                    gains[u] -= 2.0 * a;
+                    s.gains[u] -= 2.0 * a;
                 }
             }
-            cur_side[v] = !cur_side[v];
-            gains[v] = -gv;
-            left_count = if cur_side[v] { left_count + 1 } else { left_count - 1 };
+            s.cur_side[v] = !s.cur_side[v];
+            s.gains[v] = -gv;
+            left_count = if s.cur_side[v] { left_count + 1 } else { left_count - 1 };
             cur_cut -= gv;
-            locked[v] = true;
-            moves.push(v);
+            s.locked[v] = true;
+            s.moves.push(v);
             if left_count == target_left
                 && best_prefix.is_none_or(|(_, c)| cur_cut < c)
             {
-                best_prefix = Some((moves.len(), cur_cut));
+                best_prefix = Some((s.moves.len(), cur_cut));
             }
         }
 
         // Adopt the best balanced prefix if it improves on the pass start.
         if let Some((prefix_len, cut)) = best_prefix {
             if cut + 1e-12 < best_cut {
-                let mut adopted = best_side.clone();
-                for &v in &moves[..prefix_len] {
-                    adopted[v] = !adopted[v];
+                s.adopted.clone_from(&s.best_side);
+                for &v in &s.moves[..prefix_len] {
+                    s.adopted[v] = !s.adopted[v];
                 }
-                best_side = adopted;
+                std::mem::swap(&mut s.best_side, &mut s.adopted);
                 best_cut = cut;
             }
         }
@@ -225,7 +288,7 @@ fn fm_from_initial(
         }
     }
 
-    Bipartition { side: best_side, cut: best_cut }
+    best_cut
 }
 
 #[cfg(test)]
@@ -320,5 +383,36 @@ mod tests {
         let a = fm_bipartition(&g, 4, 4);
         let b = fm_bipartition(&g, 4, 4);
         assert_eq!(a, b);
+    }
+
+    /// A scratch reused across graphs of different sizes and targets must
+    /// give bit-identical results to fresh scratch per call: no stale
+    /// buffer contents may leak between runs.
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let big = symmetric_machine("big", 4, 4, LinkProfile::nvlink_dual());
+        let small = power8_minsky();
+        let big_gpus: Vec<GpuId> = big.gpus().collect();
+        let small_gpus: Vec<GpuId> = small.gpus().collect();
+        let gb = AffinityGraph::from_machine(&big, &big_gpus);
+        let gs = AffinityGraph::from_machine(&small, &small_gpus);
+
+        let mut reused = FmScratch::default();
+        // Interleave shapes so every buffer shrinks and regrows.
+        for (g, targets) in [(&gb, 1..16usize), (&gs, 1..4usize)] {
+            for t in targets {
+                let with_reuse = fm_bipartition_with(g, t, 4, &mut reused);
+                let fresh = fm_bipartition_with(g, t, 4, &mut FmScratch::default());
+                assert_eq!(with_reuse, fresh, "target {t}");
+                assert_eq!(
+                    with_reuse.cut.to_bits(),
+                    fresh.cut.to_bits(),
+                    "cut bits diverged at target {t}"
+                );
+            }
+        }
+        // And the big graph again after the small one shrank the buffers.
+        let again = fm_bipartition_with(&gb, 8, 4, &mut reused);
+        assert_eq!(again, fm_bipartition_with(&gb, 8, 4, &mut FmScratch::default()));
     }
 }

@@ -27,7 +27,7 @@ pub mod utility;
 
 pub use affinity::AffinityGraph;
 pub use drb::{drb_map, MappingError, PlacementOracle};
-pub use fm::{fm_bipartition, Bipartition};
+pub use fm::{fm_bipartition, fm_bipartition_with, Bipartition, FmScratch};
 pub use utility::{
     eq3_comm_cost, eq4_interference, eq5_fragmentation, utility, UtilityComponents,
     UtilityWeights,

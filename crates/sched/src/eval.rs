@@ -21,14 +21,24 @@
 //! The engine never changes *which* candidate wins: the policy's
 //! tie-breaking (`FRAG_TIE_EPS` + Eq. 5) runs sequentially over the
 //! fanned-out per-candidate outcomes in original candidate order.
+//!
+//! 3. **Cross-event caching.** Because the class key is a pure function of
+//!    machine state and the job-side inputs reduce to a small *job class*,
+//!    a `(machine class, job class) → outcome` entry never goes stale —
+//!    only cold. [`EvalCache`] therefore persists across arrivals for the
+//!    whole scheduler/simulation run (a sharded LRU, `GTS_EVAL_CACHE`
+//!    knob), so steady-state arrivals that revisit known keys skip the DRB
+//!    mapping entirely (DESIGN.md §9).
 
 use crate::oracle::{placement_utility, StateOracle};
-use crate::state::ClusterState;
+use crate::state::{ClusterState, MachineClassKey};
 use gts_job::{BatchClass, JobGraph, JobSpec, NnModel};
 use gts_map::{drb_map, PlacementOracle as _, UtilityWeights};
 use gts_topo::{GpuId, MachineId};
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Spawning threads for a couple of representatives costs more than the
 /// evaluations; below this many distinct classes the engine stays on the
@@ -116,45 +126,275 @@ pub(crate) enum CandidateOutcome {
     },
 }
 
-/// The memoization key: every input the per-candidate evaluation depends
-/// on, with floats captured by bit pattern so `Eq`/`Hash` are exact.
+/// The job-side half of a cross-event cache key: every *job* input the
+/// per-candidate evaluation depends on, floats by bit pattern. `min_utility`,
+/// arrival time and iteration count never enter Eq. 2–5, so jobs differing
+/// only there share entries. Jobs carrying an explicit `comm_graph` are not
+/// keyable (the graph is arbitrary) and bypass the cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct ClassKey {
-    /// Topology class ([`gts_topo::ClusterTopology::machine_class`]).
-    topo_class: u32,
-    /// Free-GPU bitmask.
-    free_mask: u128,
-    /// Per-socket committed bandwidth, bit patterns.
-    bw_bits: Vec<u64>,
-    /// Co-runner signature, canonically sorted: `(model, batch, local GPU
-    /// bitmask)` per running job on the machine.
-    corunners: Vec<(NnModel, BatchClass, u128)>,
+struct JobClassKey {
+    model: NnModel,
+    batch: BatchClass,
+    n_gpus: u32,
+    bw_bits: u64,
+    weight_bits: [u64; 3],
 }
 
-impl ClassKey {
-    fn of(state: &ClusterState, machine: MachineId) -> Self {
-        let bw_bits = state
-            .socket_bw_used(machine)
-            .iter()
-            .map(|b| b.to_bits())
-            .collect();
-        let mut corunners: Vec<(NnModel, BatchClass, u128)> = state
-            .running_on(machine)
-            .iter()
-            .map(|alloc| {
-                let mut mask = 0u128;
-                for g in alloc.gpus_on(machine) {
-                    mask |= 1u128 << g.index();
-                }
-                (alloc.spec.model, alloc.spec.batch, mask)
-            })
-            .collect();
-        corunners.sort_unstable();
+impl JobClassKey {
+    /// The job's class, or `None` when the job is not cacheable (explicit
+    /// communication graph).
+    fn of(job: &JobSpec, weights: UtilityWeights) -> Option<Self> {
+        if job.comm_graph.is_some() {
+            return None;
+        }
+        Some(Self {
+            model: job.model,
+            batch: job.batch,
+            n_gpus: job.n_gpus,
+            bw_bits: job.bw_demand_gbs.to_bits(),
+            weight_bits: [weights.cc.to_bits(), weights.b.to_bits(), weights.d.to_bits()],
+        })
+    }
+}
+
+/// A cross-event cache key: machine equivalence class × job class. Both
+/// halves are pure functions of (state, job-class) — machine ids, job ids
+/// and clock values never enter — so an entry can only be *cold*, never
+/// *stale* (DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    machine: MachineClassKey,
+    job: JobClassKey,
+}
+
+impl CacheKey {
+    /// 64-bit hash used for both shard selection and the per-shard map.
+    fn hash_bits(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Default total cache capacity (entries across all shards) when
+/// `GTS_EVAL_CACHE` is unset or just "1"/"on".
+const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Shards in the cross-event cache. Lookups are grouped per arrival (one
+/// per equivalence class), so contention is light; 8 shards keeps the
+/// parallel evaluation path from serializing on one mutex.
+const N_SHARDS: usize = 8;
+
+/// Parses `GTS_EVAL_CACHE` once: `None` = disabled (`0`/`off`/`false`,
+/// restoring the pre-cache behavior), otherwise the total entry capacity
+/// (`1`/`on`/`true`/unset → the default, any other positive integer → that
+/// capacity).
+fn cache_env() -> Option<usize> {
+    static CACHED: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHED.get_or_init(|| match std::env::var("GTS_EVAL_CACHE") {
+        Ok(v) => match v.trim() {
+            "0" | "off" | "false" => None,
+            "1" | "on" | "true" | "" => Some(DEFAULT_CACHE_CAPACITY),
+            other => match other.parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                _ => Some(DEFAULT_CACHE_CAPACITY),
+            },
+        },
+        Err(_) => Some(DEFAULT_CACHE_CAPACITY),
+    })
+}
+
+/// Hit/miss/eviction counters of an [`EvalCache`], read at any point of a
+/// run. One lookup is counted per *equivalence class* per arrival (the
+/// engine groups candidates first), not per candidate machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCacheStats {
+    /// Class evaluations answered from the cache.
+    pub hits: u64,
+    /// Class evaluations that ran the full DRB mapping (and filled the
+    /// cache).
+    pub misses: u64,
+    /// Entries displaced by LRU capacity pressure.
+    pub evictions: u64,
+}
+
+impl EvalCacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// One shard: a hash map into a slab threaded with an intrusive
+/// doubly-linked LRU list (`head` = most recent, `tail` = eviction
+/// victim). All operations are O(1).
+struct Shard {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+struct Entry {
+    key: CacheKey,
+    value: CandidateOutcome,
+    prev: usize,
+    next: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self { map: HashMap::new(), slab: Vec::new(), head: NIL, tail: NIL, capacity }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (p, n) = (self.slab[i].prev, self.slab[i].next);
+        match p {
+            NIL => self.head = n,
+            _ => self.slab[p].next = n,
+        }
+        match n {
+            NIL => self.tail = p,
+            _ => self.slab[n].prev = p,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<CandidateOutcome> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slab[i].value.clone())
+    }
+
+    /// Inserts (or refreshes) an entry; returns `true` when an older entry
+    /// was evicted to make room.
+    fn insert(&mut self, key: CacheKey, value: CandidateOutcome) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return false;
+        }
+        if self.map.len() >= self.capacity {
+            // Reuse the LRU victim's slot in place.
+            let lru = self.tail;
+            self.unlink(lru);
+            let old_key = self.slab[lru].key.clone();
+            self.map.remove(&old_key);
+            self.slab[lru].key = key.clone();
+            self.slab[lru].value = value;
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return true;
+        }
+        let i = self.slab.len();
+        self.slab.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+        self.map.insert(key, i);
+        self.push_front(i);
+        false
+    }
+}
+
+/// The cross-event placement cache: a sharded, capacity-bounded LRU from
+/// `(machine class, job class)` to the evaluated candidate outcome,
+/// owned by a [`crate::Scheduler`] for the whole run.
+///
+/// Both key halves are pure functions of state (DESIGN.md §9), so entries
+/// never go stale — a machine whose occupancy changes simply stops
+/// producing the old key. Disabled (`GTS_EVAL_CACHE=0`) the engine behaves
+/// exactly as the per-arrival memoizer did; enabled, results are still
+/// bit-identical because a hit replays the bits a miss would have computed
+/// (debug builds re-run the evaluation on every hit and assert exactly
+/// that).
+pub struct EvalCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for EvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalCache").field("stats", &self.stats()).finish()
+    }
+}
+
+impl EvalCache {
+    /// A cache bounded at `capacity` total entries (spread over the
+    /// shards; floor of one entry per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(N_SHARDS).max(1);
         Self {
-            topo_class: state.cluster().machine_class(machine),
-            free_mask: state.free_mask_bits(machine),
-            bw_bits,
-            corunners,
+            shards: (0..N_SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache sized by `GTS_EVAL_CACHE` (default capacity when the knob
+    /// only toggles). Note this ignores the knob's *off* position — use
+    /// [`EvalCache::enabled_by_env`] to honor it.
+    pub fn from_env() -> Self {
+        Self::with_capacity(cache_env().unwrap_or(DEFAULT_CACHE_CAPACITY))
+    }
+
+    /// Whether `GTS_EVAL_CACHE` leaves the cache enabled (anything but
+    /// `0`/`off`/`false`; cached after the first read).
+    pub fn enabled_by_env() -> bool {
+        cache_env().is_some()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // Spread by the high bits — the low bits feed the in-shard map.
+        let h = key.hash_bits();
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<CandidateOutcome> {
+        let hit = self.shard(key).lock().expect("cache shard poisoned").get(key);
+        match hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn insert(&self, key: CacheKey, value: CandidateOutcome) {
+        let evicted = self
+            .shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -181,11 +421,44 @@ fn evaluate_one(
     CandidateOutcome::Feasible { gpus, utility, frag_after }
 }
 
+/// Debug check behind every cache hit: re-run the full evaluation and
+/// assert the cached bits are exactly what a miss would have produced —
+/// the PR 4 shadow-recompute discipline applied to the cross-event cache.
+#[cfg(debug_assertions)]
+fn debug_assert_hit_matches(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    machine: MachineId,
+    hit: &CandidateOutcome,
+) {
+    let fresh = evaluate_one(state, job, graph, weights, machine);
+    let bits_equal = match (&fresh, hit) {
+        (CandidateOutcome::NoMapping, CandidateOutcome::NoMapping) => true,
+        (
+            CandidateOutcome::RejectedBandwidth { gpus: a },
+            CandidateOutcome::RejectedBandwidth { gpus: b },
+        ) => a == b,
+        (
+            CandidateOutcome::Feasible { gpus: ga, utility: ua, frag_after: fa },
+            CandidateOutcome::Feasible { gpus: gb, utility: ub, frag_after: fb },
+        ) => ga == gb && ua.to_bits() == ub.to_bits() && fa.to_bits() == fb.to_bits(),
+        _ => false,
+    };
+    assert!(
+        bits_equal,
+        "stale cross-event cache entry for {machine}: cached {hit:?}, fresh {fresh:?}"
+    );
+}
+
 /// Evaluates every candidate machine, returning outcomes in candidate
 /// order. `params.threads == 1` is the sequential reference; otherwise
-/// candidates are deduplicated into equivalence classes and one
-/// representative per class is evaluated (in parallel when there are
-/// enough classes to pay for the threads).
+/// candidates are deduplicated into equivalence classes via the state's
+/// precomputed keys and one representative per class is evaluated (in
+/// parallel when there are enough classes to pay for the threads). With a
+/// `cache`, class results are first looked up in — and misses fill — the
+/// cross-event cache.
 pub(crate) fn evaluate_topo_candidates(
     state: &ClusterState,
     job: &JobSpec,
@@ -193,8 +466,12 @@ pub(crate) fn evaluate_topo_candidates(
     weights: UtilityWeights,
     candidates: &[MachineId],
     params: EvalParams,
+    cache: Option<&EvalCache>,
 ) -> Vec<CandidateOutcome> {
-    if params.is_sequential() || candidates.len() < 2 {
+    if params.is_sequential()
+        || candidates.is_empty()
+        || (candidates.len() < 2 && cache.is_none())
+    {
         return candidates
             .iter()
             .map(|&m| evaluate_one(state, job, graph, weights, m))
@@ -202,31 +479,71 @@ pub(crate) fn evaluate_topo_candidates(
     }
 
     // Group candidates into equivalence classes; the first member of each
-    // class is its representative.
+    // class is its representative. Keys are precomputed by `ClusterState`
+    // (rebuilt only for machines the last events touched), so this loop is
+    // O(candidates) hash-map probes with zero key construction.
     let mut class_of: Vec<usize> = Vec::with_capacity(candidates.len());
     let mut reps: Vec<MachineId> = Vec::new();
-    let mut index: HashMap<ClassKey, usize> = HashMap::new();
+    let mut rep_keys: Vec<MachineClassKey> = Vec::new();
+    let mut index: HashMap<MachineClassKey, usize> = HashMap::new();
     for &m in candidates {
-        let class = *index.entry(ClassKey::of(state, m)).or_insert_with(|| {
-            reps.push(m);
-            reps.len() - 1
-        });
+        let key = state.machine_class_key(m);
+        let class = match index.get(key) {
+            Some(&c) => c,
+            None => {
+                index.insert(key.clone(), reps.len());
+                reps.push(m);
+                rep_keys.push(key.clone());
+                reps.len() - 1
+            }
+        };
         class_of.push(class);
     }
 
-    let rep_outcomes: Vec<CandidateOutcome> =
-        if reps.len() >= MIN_PARALLEL_CLASSES && params.threads > 1 {
-            evaluate_parallel(state, job, graph, weights, &reps, params.threads)
+    // Serve whatever the cross-event cache already knows; evaluate the rest.
+    let job_class = cache.and_then(|_| JobClassKey::of(job, weights));
+    let cache = if job_class.is_some() { cache } else { None };
+    let mut rep_outcomes: Vec<Option<CandidateOutcome>> = vec![None; reps.len()];
+    let mut pending: Vec<usize> = Vec::new();
+    if let (Some(cache), Some(jc)) = (cache, &job_class) {
+        for (i, key) in rep_keys.iter().enumerate() {
+            match cache.get(&CacheKey { machine: key.clone(), job: jc.clone() }) {
+                Some(hit) => {
+                    #[cfg(debug_assertions)]
+                    debug_assert_hit_matches(state, job, graph, weights, reps[i], &hit);
+                    rep_outcomes[i] = Some(hit);
+                }
+                None => pending.push(i),
+            }
+        }
+    } else {
+        pending.extend(0..reps.len());
+    }
+
+    let fresh: Vec<CandidateOutcome> =
+        if pending.len() >= MIN_PARALLEL_CLASSES && params.threads > 1 {
+            let machines: Vec<MachineId> = pending.iter().map(|&i| reps[i]).collect();
+            evaluate_parallel(state, job, graph, weights, &machines, params.threads)
         } else {
-            reps.iter()
-                .map(|&m| evaluate_one(state, job, graph, weights, m))
+            pending
+                .iter()
+                .map(|&i| evaluate_one(state, job, graph, weights, reps[i]))
                 .collect()
         };
+    for (&i, outcome) in pending.iter().zip(fresh) {
+        if let (Some(cache), Some(jc)) = (cache, &job_class) {
+            cache.insert(
+                CacheKey { machine: rep_keys[i].clone(), job: jc.clone() },
+                outcome.clone(),
+            );
+        }
+        rep_outcomes[i] = Some(outcome);
+    }
 
     // Fan each class result out to its members, preserving candidate order.
     class_of
         .into_iter()
-        .map(|c| rep_outcomes[c].clone())
+        .map(|c| rep_outcomes[c].clone().expect("every class evaluated"))
         .collect()
 }
 
@@ -294,9 +611,26 @@ mod tests {
     }
 
     fn outcomes(s: &ClusterState, j: &JobSpec, params: EvalParams) -> Vec<CandidateOutcome> {
+        outcomes_cached(s, j, params, None)
+    }
+
+    fn outcomes_cached(
+        s: &ClusterState,
+        j: &JobSpec,
+        params: EvalParams,
+        cache: Option<&EvalCache>,
+    ) -> Vec<CandidateOutcome> {
         let graph = JobGraph::from_spec(j);
         let candidates = s.machines_with_capacity(j.n_gpus as usize);
-        evaluate_topo_candidates(s, j, &graph, UtilityWeights::default(), &candidates, params)
+        evaluate_topo_candidates(
+            s,
+            j,
+            &graph,
+            UtilityWeights::default(),
+            &candidates,
+            params,
+            cache,
+        )
     }
 
     #[test]
@@ -340,9 +674,9 @@ mod tests {
     fn idle_identical_machines_collapse_to_one_class() {
         let s = state(16);
         let candidates = s.machines_with_capacity(2);
-        let mut keys: Vec<ClassKey> = candidates
+        let mut keys: Vec<MachineClassKey> = candidates
             .iter()
-            .map(|&m| ClassKey::of(&s, m))
+            .map(|&m| s.machine_class_key(m).clone())
             .collect();
         keys.dedup();
         assert_eq!(keys.len(), 1, "an idle homogeneous cluster is one class");
@@ -357,9 +691,9 @@ mod tests {
             on_machine(MachineId(2), &[GpuId(0)]),
             1.0,
         );
-        let k0 = ClassKey::of(&s, MachineId(0));
-        let k1 = ClassKey::of(&s, MachineId(1));
-        let k2 = ClassKey::of(&s, MachineId(2));
+        let k0 = s.machine_class_key(MachineId(0));
+        let k1 = s.machine_class_key(MachineId(1));
+        let k2 = s.machine_class_key(MachineId(2));
         assert_ne!(k0, k1, "occupancy differs");
         assert_ne!(k1, k2, "co-runner model differs at equal occupancy");
     }
@@ -370,14 +704,96 @@ mod tests {
         let mut s = state(2);
         s.place(job(7, 1), on_machine(MachineId(0), &[GpuId(0)]), 1.0);
         s.place(job(900, 1), on_machine(MachineId(1), &[GpuId(0)]), 1.0);
-        assert_eq!(ClassKey::of(&s, MachineId(0)), ClassKey::of(&s, MachineId(1)));
+        assert_eq!(
+            s.machine_class_key(MachineId(0)),
+            s.machine_class_key(MachineId(1))
+        );
+        assert_eq!(
+            s.machine_class_key(MachineId(0)).hash_bits(),
+            s.machine_class_key(MachineId(1)).hash_bits()
+        );
     }
 
     #[test]
     fn down_machines_never_reach_the_engine_but_key_safely() {
         let mut s = state(2);
         s.set_machine_down(MachineId(1), true);
-        let k = ClassKey::of(&s, MachineId(1));
-        assert_eq!(k.free_mask, 0);
+        assert_eq!(s.machine_class_key(MachineId(1)).inner().free_mask, 0);
+    }
+
+    #[test]
+    fn cache_serves_hits_and_counts_misses_across_arrivals() {
+        let s = state(8);
+        let j = job(0, 2);
+        let cache = EvalCache::with_capacity(64);
+        let cold = outcomes_cached(&s, &j, EvalParams::parallel(2), Some(&cache));
+        let after_cold = cache.stats();
+        assert_eq!(after_cold.hits, 0);
+        assert!(after_cold.misses >= 1);
+
+        // Same state + same job class (different id / min_utility) → hits.
+        let j2 = job(99, 2).with_min_utility(0.9);
+        let warm = outcomes_cached(&s, &j2, EvalParams::parallel(2), Some(&cache));
+        let after_warm = cache.stats();
+        assert_eq!(warm, cold);
+        assert_eq!(after_warm.misses, after_cold.misses, "no new evaluations");
+        assert!(after_warm.hits >= 1);
+        assert!((after_warm.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_on_and_off_agree_bitwise() {
+        let mut s = state(12);
+        s.place(job(100, 2), on_machine(MachineId(0), &[GpuId(0), GpuId(1)]), 1.0);
+        s.place(job(101, 1), on_machine(MachineId(1), &[GpuId(2)]), 1.0);
+        let cache = EvalCache::with_capacity(64);
+        let j = job(0, 2);
+        // Prime, then compare warm-hit outcomes against the uncached engine.
+        outcomes_cached(&s, &j, EvalParams::parallel(4), Some(&cache));
+        let warm = outcomes_cached(&s, &j, EvalParams::parallel(4), Some(&cache));
+        let uncached = outcomes(&s, &j, EvalParams::parallel(4));
+        for (a, b) in warm.iter().zip(&uncached) {
+            match (a, b) {
+                (
+                    CandidateOutcome::Feasible { gpus: ga, utility: ua, frag_after: fa },
+                    CandidateOutcome::Feasible { gpus: gb, utility: ub, frag_after: fb },
+                ) => {
+                    assert_eq!(ga, gb);
+                    assert_eq!(ua.to_bits(), ub.to_bits());
+                    assert_eq!(fa.to_bits(), fb.to_bits());
+                }
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_with_explicit_graphs_bypass_the_cache() {
+        let s = state(4);
+        let cache = EvalCache::with_capacity(64);
+        let j = JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, 2)
+            .with_comm_graph(JobGraph::pipeline(2, 4.0));
+        outcomes_cached(&s, &j, EvalParams::parallel(2), Some(&cache));
+        outcomes_cached(&s, &j, EvalParams::parallel(2), Some(&cache));
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 0, "graph jobs are not keyable");
+    }
+
+    #[test]
+    fn lru_evicts_and_counts() {
+        // Single-slot-per-shard cache: filling it with distinct job widths
+        // must evict. (8 shards × 1 entry; 9+ distinct keys guarantee at
+        // least one collision-driven eviction regardless of spread.)
+        let s = state(2);
+        let cache = EvalCache::with_capacity(1);
+        for width in 1..=4u32 {
+            for model in [NnModel::AlexNet, NnModel::CaffeRef, NnModel::GoogLeNet] {
+                for batch in [BatchClass::Tiny, BatchClass::Small, BatchClass::Big] {
+                    let j = JobSpec::new(width as u64, model, batch, width);
+                    outcomes_cached(&s, &j, EvalParams::parallel(2), Some(&cache));
+                }
+            }
+        }
+        assert!(cache.stats().evictions >= 1, "capacity-1 shards must evict");
     }
 }

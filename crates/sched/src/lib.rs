@@ -30,7 +30,7 @@ pub mod state;
 pub mod trace;
 
 pub use enforcement::{launch_plan, LaunchPlan};
-pub use eval::EvalParams;
+pub use eval::{EvalCache, EvalCacheStats, EvalParams};
 pub use oracle::StateOracle;
 pub use overhead::DecisionStats;
 pub use policy::{Policy, PolicyKind};

@@ -5,27 +5,32 @@
 //! jobs currently running on the candidate machine (Eq. 4), and
 //! fragmentation from socket occupancy (Eq. 5).
 
-use crate::state::ClusterState;
+use crate::state::{ClusterState, Corunner};
 use gts_job::{JobProfile, JobSpec};
 use gts_map::{PlacementOracle, UtilityComponents, UtilityWeights};
 use gts_perf::domain_factor;
 use gts_topo::{GpuId, MachineId, MachineTopology};
+use std::sync::Arc;
 
 /// Oracle for one candidate machine, carrying the job being placed.
 ///
-/// Co-runners are captured once at construction — `drb_map` probes
-/// `interference` many times per candidate, and re-walking the running-job
-/// table on every probe dominated the old per-arrival cost. They are held
-/// in *canonical* order (sorted by `(model, batch, local GPU set)` rather
-/// than job id) so that machines in the same evaluation-engine equivalence
-/// class sum the Eq. 4 terms in exactly the same order and produce
-/// bit-identical utilities regardless of which job ids happen to run there.
+/// Co-runners come from the machine's *interned* signature
+/// ([`ClusterState::corunners`]) — `drb_map` probes `interference` many
+/// times per candidate, and re-walking the running-job table (let alone
+/// cloning profiles and GPU lists) per candidate dominated the old
+/// per-arrival cost; now construction is one `Arc` clone. The signature is
+/// held in *canonical* order (sorted by `(model, batch, local GPU mask)`
+/// rather than job id) so that machines in the same evaluation-engine
+/// equivalence class sum the Eq. 4 terms in exactly the same order and
+/// produce bit-identical utilities regardless of which job ids happen to
+/// run there. The same `Arc` backs the cross-event placement cache's keys
+/// (DESIGN.md §9).
 pub struct StateOracle<'a> {
     state: &'a ClusterState,
     machine: MachineId,
     topo: &'a MachineTopology,
     candidate: &'a JobProfile,
-    corunners: Vec<(JobProfile, Vec<GpuId>)>,
+    corunners: Arc<Vec<Corunner>>,
 }
 
 impl<'a> StateOracle<'a> {
@@ -33,14 +38,7 @@ impl<'a> StateOracle<'a> {
     pub fn new(state: &'a ClusterState, machine: MachineId, job: &JobSpec) -> Self {
         let topo = state.cluster().machine(machine);
         let candidate = state.profiles().get(job.model, job.batch);
-        let mut corunners: Vec<(JobProfile, Vec<GpuId>)> = state
-            .running_on(machine)
-            .iter()
-            .map(|alloc| (*alloc.profile(state.profiles()), alloc.gpus_on(machine)))
-            .collect();
-        corunners.sort_by(|(pa, ga), (pb, gb)| {
-            (pa.model, pa.batch, ga).cmp(&(pb.model, pb.batch, gb))
-        });
+        let corunners = Arc::clone(state.corunners(machine));
         Self { state, machine, topo, candidate, corunners }
     }
 
@@ -51,7 +49,7 @@ impl<'a> StateOracle<'a> {
         let corunners: Vec<(JobProfile, f64)> = self
             .corunners
             .iter()
-            .map(|(profile, local)| (*profile, domain_factor(self.topo, gpus, local)))
+            .map(|c| (c.profile, domain_factor(self.topo, gpus, &c.gpus)))
             .collect();
         self.candidate.eq4_interference(&corunners)
     }

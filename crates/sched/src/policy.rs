@@ -13,7 +13,7 @@
 //!   variant additionally *postpones* jobs whose best utility falls below
 //!   their `min_utility` SLO.
 
-use crate::eval::{evaluate_topo_candidates, CandidateOutcome, EvalParams};
+use crate::eval::{evaluate_topo_candidates, CandidateOutcome, EvalCache, EvalParams};
 use crate::oracle::{placement_components, placement_utility, StateOracle};
 use crate::state::{on_machine, ClusterState};
 use crate::trace::{CandidateEval, EvalOutcome};
@@ -95,7 +95,7 @@ impl Policy {
     /// GPUs exists right now. Never mutates state. Evaluation-engine
     /// parameters come from the environment ([`EvalParams::from_env`]).
     pub fn decide(&self, state: &ClusterState, job: &JobSpec) -> Option<Decision> {
-        self.decide_impl(state, job, None, EvalParams::from_env())
+        self.decide_impl(state, job, None, EvalParams::from_env(), None)
     }
 
     /// [`Policy::decide`] with explicit evaluation-engine parameters —
@@ -107,7 +107,21 @@ impl Policy {
         job: &JobSpec,
         params: EvalParams,
     ) -> Option<Decision> {
-        self.decide_impl(state, job, None, params)
+        self.decide_impl(state, job, None, params, None)
+    }
+
+    /// [`Policy::decide_with`] backed by a cross-event [`EvalCache`]: class
+    /// evaluations already cached from earlier arrivals are replayed
+    /// instead of re-running DRB. Pass the scheduler-owned cache here on
+    /// every arrival; the sequential reference path ignores it.
+    pub fn decide_with_cache(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        params: EvalParams,
+        cache: Option<&EvalCache>,
+    ) -> Option<Decision> {
+        self.decide_impl(state, job, None, params, cache)
     }
 
     /// Like [`Policy::decide`], but records every candidate machine the
@@ -120,7 +134,7 @@ impl Policy {
         job: &JobSpec,
         evals: &mut Vec<CandidateEval>,
     ) -> Option<Decision> {
-        self.decide_impl(state, job, Some(evals), EvalParams::from_env())
+        self.decide_impl(state, job, Some(evals), EvalParams::from_env(), None)
     }
 
     /// [`Policy::decide_traced`] with explicit evaluation-engine parameters.
@@ -131,7 +145,19 @@ impl Policy {
         evals: &mut Vec<CandidateEval>,
         params: EvalParams,
     ) -> Option<Decision> {
-        self.decide_impl(state, job, Some(evals), params)
+        self.decide_impl(state, job, Some(evals), params, None)
+    }
+
+    /// [`Policy::decide_traced_with`] backed by a cross-event [`EvalCache`].
+    pub fn decide_traced_with_cache(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        evals: &mut Vec<CandidateEval>,
+        params: EvalParams,
+        cache: Option<&EvalCache>,
+    ) -> Option<Decision> {
+        self.decide_impl(state, job, Some(evals), params, cache)
     }
 
     fn record_eval(
@@ -174,6 +200,7 @@ impl Policy {
         job: &JobSpec,
         mut trace: Option<&mut Vec<CandidateEval>>,
         params: EvalParams,
+        cache: Option<&EvalCache>,
     ) -> Option<Decision> {
         if job.constraints.anti_collocate && job.n_gpus > 1 {
             let decision = self.decide_anti_collocated(state, job);
@@ -268,6 +295,7 @@ impl Policy {
                     self.weights,
                     &candidates,
                     params,
+                    cache,
                 );
                 let mut feasible: Vec<(Decision, f64, usize)> = Vec::new();
                 for (&machine, outcome) in candidates.iter().zip(outcomes) {

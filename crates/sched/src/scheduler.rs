@@ -16,7 +16,7 @@
 //! (`gts-proto`), which call [`Scheduler::run_iteration`] whenever a job
 //! arrives or finishes ("wakeup after an event").
 
-use crate::eval::EvalParams;
+use crate::eval::{EvalCache, EvalCacheStats, EvalParams};
 use crate::overhead::DecisionStats;
 use crate::policy::Policy;
 use crate::state::{Allocation, ClusterState};
@@ -32,13 +32,22 @@ pub struct SchedulerConfig {
     pub policy: Policy,
     /// Candidate-evaluation engine parameters.
     pub eval: EvalParams,
+    /// Whether to keep a cross-event [`EvalCache`] for the run (DESIGN.md
+    /// §9). Defaults to the `GTS_EVAL_CACHE` knob; the cache only ever
+    /// engages on the engine path (`eval.threads > 1`).
+    pub eval_cache: bool,
 }
 
 impl SchedulerConfig {
     /// Config with the environment-selected evaluation engine
-    /// ([`EvalParams::from_env`]).
+    /// ([`EvalParams::from_env`]) and cache toggle
+    /// ([`EvalCache::enabled_by_env`]).
     pub fn new(policy: Policy) -> Self {
-        Self { policy, eval: EvalParams::from_env() }
+        Self {
+            policy,
+            eval: EvalParams::from_env(),
+            eval_cache: EvalCache::enabled_by_env(),
+        }
     }
 }
 
@@ -88,6 +97,9 @@ pub enum CancelOutcome {
 pub struct Scheduler {
     policy: Policy,
     eval: EvalParams,
+    /// The cross-event placement cache, alive for the whole run. `None`
+    /// when disabled by config/knob.
+    eval_cache: Option<EvalCache>,
     state: ClusterState,
     queue: WaitQueue,
     stats: DecisionStats,
@@ -104,6 +116,7 @@ impl Scheduler {
         Self {
             policy: config.policy,
             eval: config.eval,
+            eval_cache: config.eval_cache.then(EvalCache::from_env),
             state,
             queue: WaitQueue::new(),
             stats: DecisionStats::new(),
@@ -113,6 +126,11 @@ impl Scheduler {
             now_s: 0.0,
             trace: Vec::new(),
         }
+    }
+
+    /// Counters of the cross-event cache, or `None` when it is disabled.
+    pub fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
+        self.eval_cache.as_ref().map(EvalCache::stats)
     }
 
     /// Turns the decision-trace stream on or off. Off by default — tracing
@@ -250,11 +268,16 @@ impl Scheduler {
             let job = self.queue.pop().expect("queue checked non-empty");
 
             let started = Instant::now();
+            let cache = self.eval_cache.as_ref();
             let decision = if self.tracing {
                 let mut evals = Vec::new();
-                let d = self
-                    .policy
-                    .decide_traced_with(&self.state, &job, &mut evals, self.eval);
+                let d = self.policy.decide_traced_with_cache(
+                    &self.state,
+                    &job,
+                    &mut evals,
+                    self.eval,
+                    cache,
+                );
                 if !evals.is_empty() {
                     self.trace.push(TraceEvent::Evaluated {
                         t_s: self.now_s,
@@ -264,7 +287,7 @@ impl Scheduler {
                 }
                 d
             } else {
-                self.policy.decide_with(&self.state, &job, self.eval)
+                self.policy.decide_with_cache(&self.state, &job, self.eval, cache)
             };
             self.stats.record(started.elapsed());
 

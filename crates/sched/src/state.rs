@@ -7,10 +7,11 @@
 //! path. All placement policies operate on this state; the simulator and
 //! the prototype mutate it through `place`/`release`.
 
-use gts_job::{JobId, JobProfile, JobSpec};
+use gts_job::{BatchClass, JobId, JobProfile, JobSpec, NnModel};
 use gts_perf::ProfileLibrary;
 use gts_topo::{ClusterTopology, GlobalGpuId, GpuId, MachineId, SocketId};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A job's GPU allocation (possibly spanning machines).
@@ -57,6 +58,123 @@ impl Allocation {
 /// sustained per socket, §3.1's 256 GB DDR4 configuration).
 pub const DEFAULT_SOCKET_BW_GBS: f64 = 115.0;
 
+/// One running job's contribution to a machine's co-runner signature: the
+/// §4.2 profile plus the local GPU set it holds there. Entries are interned
+/// per machine in canonical `(model, batch, mask)` order and shared (behind
+/// one `Arc`) between the evaluation engine's class keys and every
+/// [`crate::StateOracle`] Eq. 4 sum, so neither clones profiles or GPU
+/// lists per candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corunner {
+    /// Profile of the running job (model + batch resolved once at
+    /// placement time).
+    pub profile: JobProfile,
+    /// Local GPUs held on this machine, as a bitmask.
+    pub mask: u128,
+    /// Local GPUs, ascending (derived from `mask`).
+    pub gpus: Vec<GpuId>,
+}
+
+impl Corunner {
+    /// The canonical sort key: job ids never enter, so two machines running
+    /// the same workload classes on the same GPUs are indistinguishable.
+    fn sort_key(&self) -> (NnModel, BatchClass, u128) {
+        (self.profile.model, self.profile.batch, self.mask)
+    }
+}
+
+/// Payload of a machine's equivalence-class key — every input the
+/// per-candidate placement evaluation depends on, with floats captured by
+/// bit pattern so `Eq`/`Hash` are exact. A pure function of machine state:
+/// the machine *id* and job ids never enter, so equal keys imply
+/// bit-identical evaluation results (DESIGN.md §7, §9).
+#[derive(Debug)]
+pub struct KeyInner {
+    /// Topology class ([`gts_topo::ClusterTopology::machine_class`]).
+    pub topo_class: u32,
+    /// Free-GPU bitmask (0 when the machine is down).
+    pub free_mask: u128,
+    /// Per-socket committed bandwidth, bit patterns.
+    pub bw_bits: Vec<u64>,
+    /// The machine's interned co-runner signature, canonical order.
+    pub corunners: Arc<Vec<Corunner>>,
+}
+
+impl PartialEq for KeyInner {
+    fn eq(&self, other: &Self) -> bool {
+        self.topo_class == other.topo_class
+            && self.free_mask == other.free_mask
+            && self.bw_bits == other.bw_bits
+            && (Arc::ptr_eq(&self.corunners, &other.corunners)
+                || (self.corunners.len() == other.corunners.len()
+                    && self
+                        .corunners
+                        .iter()
+                        .zip(other.corunners.iter())
+                        .all(|(a, b)| a.sort_key() == b.sort_key())))
+    }
+}
+
+impl Eq for KeyInner {}
+
+impl Hash for KeyInner {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.topo_class.hash(h);
+        self.free_mask.hash(h);
+        self.bw_bits.hash(h);
+        self.corunners.len().hash(h);
+        for c in self.corunners.iter() {
+            c.sort_key().hash(h);
+        }
+    }
+}
+
+/// A machine's evaluation-engine equivalence-class key, maintained
+/// incrementally by [`ClusterState`] on every `place`/`release`/failure so
+/// arrival-time candidate grouping reads precomputed keys in O(feasible
+/// machines) — no re-hashing of untouched machines. The 64-bit hash is
+/// precomputed at rebuild time; `Hash` just replays it and `Eq`
+/// short-circuits on it (then on `Arc` pointer identity) before falling
+/// back to a field compare.
+#[derive(Debug, Clone)]
+pub struct MachineClassKey {
+    hash: u64,
+    inner: Arc<KeyInner>,
+}
+
+impl MachineClassKey {
+    fn new(inner: KeyInner) -> Self {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        inner.hash(&mut h);
+        Self { hash: h.finish(), inner: Arc::new(inner) }
+    }
+
+    /// The precomputed 64-bit hash (stable for the life of the process).
+    pub fn hash_bits(&self) -> u64 {
+        self.hash
+    }
+
+    /// The key's payload.
+    pub fn inner(&self) -> &KeyInner {
+        &self.inner
+    }
+}
+
+impl PartialEq for MachineClassKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash
+            && (Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner)
+    }
+}
+
+impl Eq for MachineClassKey {}
+
+impl Hash for MachineClassKey {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        h.write_u64(self.hash);
+    }
+}
+
 /// Free/busy GPU bookkeeping across the cluster plus the running-job table.
 ///
 /// The boolean bitmap `free` is the ground truth; `free_mask`,
@@ -89,6 +207,13 @@ pub struct ClusterState {
     /// Machines currently failed/offline — excluded from every capacity
     /// query until marked up again.
     down: Vec<bool>,
+    /// Per-machine equivalence-class key, rebuilt eagerly for exactly the
+    /// machines a `place`/`release`/failure touches (the PR 4
+    /// dirty-machine discipline applied to keys).
+    class_keys: Vec<MachineClassKey>,
+    /// Per-machine interned co-runner signature — the same `Arc` the class
+    /// key holds, served to every [`crate::StateOracle`].
+    corunners: Vec<Arc<Vec<Corunner>>>,
     /// Per-socket bandwidth capacity, GB/s.
     bw_capacity_gbs: f64,
     running: HashMap<JobId, Allocation>,
@@ -125,7 +250,7 @@ impl ClusterState {
             .map(|m| vec![0.0; cluster.machine(m).n_sockets()])
             .collect();
         let down = vec![false; cluster.n_machines()];
-        Self {
+        let mut state = Self {
             cluster,
             profiles,
             free,
@@ -136,8 +261,72 @@ impl ClusterState {
             bw_used,
             bw_capacity_gbs: DEFAULT_SOCKET_BW_GBS,
             down,
+            class_keys: Vec::new(),
+            corunners: Vec::new(),
             running: HashMap::new(),
+        };
+        for m in state.cluster.machines() {
+            let (corunners, key) = state.compute_machine_key(m);
+            state.corunners.push(corunners);
+            state.class_keys.push(key);
         }
+        state
+    }
+
+    /// Re-derives one machine's interned co-runner signature and class key
+    /// from the ground truth (`jobs_on` + `running`). Pure read; the eager
+    /// rebuild paths and `audit()` check 7 both go through this.
+    fn compute_machine_key(
+        &self,
+        machine: MachineId,
+    ) -> (Arc<Vec<Corunner>>, MachineClassKey) {
+        let mi = machine.index();
+        let mut list: Vec<Corunner> = self.jobs_on[mi]
+            .iter()
+            .map(|id| {
+                let alloc = &self.running[id];
+                let mut mask = 0u128;
+                for g in alloc.gpus_on(machine) {
+                    mask |= 1u128 << g.index();
+                }
+                let mut bits = mask;
+                let mut gpus = Vec::with_capacity(bits.count_ones() as usize);
+                while bits != 0 {
+                    gpus.push(GpuId(bits.trailing_zeros()));
+                    bits &= bits - 1;
+                }
+                Corunner { profile: *alloc.profile(&self.profiles), mask, gpus }
+            })
+            .collect();
+        list.sort_by_key(Corunner::sort_key);
+        let corunners = Arc::new(list);
+        let key = MachineClassKey::new(KeyInner {
+            topo_class: self.cluster.machine_class(machine),
+            free_mask: self.free_mask_bits(machine),
+            bw_bits: self.bw_used[mi].iter().map(|b| b.to_bits()).collect(),
+            corunners: Arc::clone(&corunners),
+        });
+        (corunners, key)
+    }
+
+    /// Eagerly rebuilds one machine's key + signature after a mutation.
+    /// O(jobs on that machine) — paid once per touched machine per event,
+    /// never per candidate.
+    fn rebuild_machine_key(&mut self, machine: MachineId) {
+        let (corunners, key) = self.compute_machine_key(machine);
+        self.corunners[machine.index()] = corunners;
+        self.class_keys[machine.index()] = key;
+    }
+
+    /// The machine's precomputed equivalence-class key (DESIGN.md §7, §9).
+    pub fn machine_class_key(&self, machine: MachineId) -> &MachineClassKey {
+        &self.class_keys[machine.index()]
+    }
+
+    /// The machine's interned co-runner signature, canonical
+    /// `(model, batch, mask)` order — shared with the class key.
+    pub fn corunners(&self, machine: MachineId) -> &Arc<Vec<Corunner>> {
+        &self.corunners[machine.index()]
     }
 
     /// Marks a machine offline (failed) or back online. Offline machines
@@ -155,6 +344,9 @@ impl ClusterState {
             );
         }
         self.down[machine.index()] = down;
+        // The key's free-mask component reads 0 while down; rebuild so the
+        // precomputed key tracks the transition in both directions.
+        self.rebuild_machine_key(machine);
     }
 
     /// True when the machine is marked offline.
@@ -359,7 +551,7 @@ impl ClusterState {
         let mut machines: Vec<MachineId> = gpus.iter().map(|g| g.machine).collect();
         machines.sort_unstable();
         machines.dedup();
-        for m in machines {
+        for &m in &machines {
             self.jobs_on[m.index()].push(spec.id);
             let local: Vec<GpuId> = gpus
                 .iter()
@@ -374,6 +566,9 @@ impl ClusterState {
         }
         let id = spec.id;
         self.running.insert(id, Allocation { spec, gpus, utility });
+        for m in machines {
+            self.rebuild_machine_key(m);
+        }
         self.debug_audit();
     }
 
@@ -402,6 +597,9 @@ impl ClusterState {
                 let used = &mut self.bw_used[m.index()][s];
                 *used = (*used - share).max(0.0);
             }
+        }
+        for m in alloc.machines() {
+            self.rebuild_machine_key(m);
         }
         self.debug_audit();
         alloc
@@ -561,6 +759,45 @@ impl ClusterState {
             if cached != want_jobs {
                 return Err(format!(
                     "{m} jobs_on cache {cached:?} disagrees with allocations {want_jobs:?}"
+                ));
+            }
+        }
+        // 7: the incremental class index. Re-derive every machine's
+        // co-runner signature and equivalence-class key (including the
+        // precomputed hash) from the ground truth; drift here means a
+        // place/release/failure path forgot to rebuild a touched machine.
+        for m in self.cluster.machines() {
+            let mi = m.index();
+            let (want_corunners, want_key) = self.compute_machine_key(m);
+            let have = &self.corunners[mi];
+            let sig_ok = have.len() == want_corunners.len()
+                && have
+                    .iter()
+                    .zip(want_corunners.iter())
+                    .all(|(a, b)| a == b);
+            if !sig_ok {
+                return Err(format!(
+                    "{m} interned co-runner signature {have:?} disagrees with \
+                     ground truth {want_corunners:?}"
+                ));
+            }
+            if !Arc::ptr_eq(have, &self.class_keys[mi].inner().corunners) {
+                return Err(format!(
+                    "{m} class key holds a different co-runner Arc than the \
+                     interned signature"
+                ));
+            }
+            if self.class_keys[mi] != want_key {
+                return Err(format!(
+                    "{m} class key {:?} disagrees with re-derived key {:?}",
+                    self.class_keys[mi], want_key
+                ));
+            }
+            if self.class_keys[mi].hash_bits() != want_key.hash_bits() {
+                return Err(format!(
+                    "{m} class key hash {:#x} disagrees with re-derived hash {:#x}",
+                    self.class_keys[mi].hash_bits(),
+                    want_key.hash_bits()
                 ));
             }
         }

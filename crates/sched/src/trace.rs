@@ -141,6 +141,20 @@ pub enum TraceEvent {
         /// The recovered machine.
         machine: MachineId,
     },
+    /// End-of-run counters of the cross-event placement cache
+    /// ([`crate::EvalCache`]). Appended once by the simulator when tracing
+    /// with the cache enabled; absent otherwise, so cache-off traces stay
+    /// comparable event-for-event after stripping this variant.
+    EvalCacheStats {
+        /// Event time, seconds (the run's final clock).
+        t_s: f64,
+        /// Class evaluations answered from the cache.
+        hits: u64,
+        /// Class evaluations that ran the full DRB mapping.
+        misses: u64,
+        /// Entries displaced by LRU capacity pressure.
+        evictions: u64,
+    },
 }
 
 impl TraceEvent {
@@ -155,7 +169,8 @@ impl TraceEvent {
             | TraceEvent::Released { t_s, .. }
             | TraceEvent::Spilled { t_s, .. }
             | TraceEvent::MachineFailed { t_s, .. }
-            | TraceEvent::MachineRecovered { t_s, .. } => *t_s,
+            | TraceEvent::MachineRecovered { t_s, .. }
+            | TraceEvent::EvalCacheStats { t_s, .. } => *t_s,
         }
     }
 
@@ -169,7 +184,9 @@ impl TraceEvent {
             | TraceEvent::Waiting { job, .. }
             | TraceEvent::Released { job, .. }
             | TraceEvent::Spilled { job, .. } => Some(*job),
-            TraceEvent::MachineFailed { .. } | TraceEvent::MachineRecovered { .. } => None,
+            TraceEvent::MachineFailed { .. }
+            | TraceEvent::MachineRecovered { .. }
+            | TraceEvent::EvalCacheStats { .. } => None,
         }
     }
 }
@@ -196,12 +213,14 @@ mod tests {
             TraceEvent::Spilled { t_s: 7.0, job: JobId(4), machines: vec![] },
             TraceEvent::MachineFailed { t_s: 8.0, machine: MachineId(0) },
             TraceEvent::MachineRecovered { t_s: 9.0, machine: MachineId(0) },
+            TraceEvent::EvalCacheStats { t_s: 10.0, hits: 5, misses: 2, evictions: 0 },
         ];
         for (i, e) in events.iter().enumerate() {
             assert!((e.t_s() - (i as f64 + 1.0)).abs() < 1e-12);
         }
         assert_eq!(events[0].job(), Some(JobId(1)));
         assert_eq!(events[7].job(), None);
+        assert_eq!(events[9].job(), None);
     }
 
     #[test]

@@ -43,8 +43,8 @@ use crate::runtime::{current_slowdown, RunningJob};
 use gts_job::{BatchClass, JobId, JobSpec, NnModel};
 use gts_perf::ProfileLibrary;
 use gts_sched::{
-    Allocation, CancelOutcome, ClusterState, EvalParams, PlacementOutcome, Policy, Scheduler,
-    SchedulerConfig,
+    Allocation, CancelOutcome, ClusterState, EvalCache, EvalParams, PlacementOutcome, Policy,
+    Scheduler, SchedulerConfig, TraceEvent,
 };
 use gts_topo::{ClusterTopology, MachineId};
 use std::cmp::Reverse;
@@ -84,6 +84,13 @@ pub struct SimConfig {
     /// Defaults from `GTS_SIM_INCREMENTAL` (on unless `0`/`false`/`off`);
     /// both modes produce bit-identical [`SimResult`]s.
     pub incremental: bool,
+    /// Keep the cross-event placement cache ([`EvalCache`]) alive for the
+    /// whole run, so arrivals that see a machine/job equivalence class any
+    /// earlier arrival already evaluated skip the DRB mapping entirely.
+    /// Defaults from `GTS_EVAL_CACHE` (on unless `0`/`false`/`off`); cache
+    /// on and off produce bit-identical [`SimResult`]s (modulo the
+    /// [`TraceEvent::EvalCacheStats`] footer when tracing).
+    pub eval_cache: bool,
 }
 
 /// Reads `GTS_SIM_INCREMENTAL` (cached after the first read). The
@@ -112,6 +119,7 @@ impl SimConfig {
             trace: false,
             eval: EvalParams::from_env(),
             incremental: incremental_default(),
+            eval_cache: EvalCache::enabled_by_env(),
         }
     }
 
@@ -130,6 +138,13 @@ impl SimConfig {
     /// Selects the incremental (`true`) or reference (`false`) event loop.
     pub fn with_incremental(mut self, incremental: bool) -> Self {
         self.incremental = incremental;
+        self
+    }
+
+    /// Enables (`true`) or disables (`false`) the cross-event placement
+    /// cache, overriding `GTS_EVAL_CACHE`.
+    pub fn with_eval_cache(mut self, eval_cache: bool) -> Self {
+        self.eval_cache = eval_cache;
         self
     }
 
@@ -178,6 +193,14 @@ pub struct SimLoopStats {
     pub slowdown_evals: u64,
     /// Per-job `current_slowdown` derivation counts.
     pub evals_by_job: HashMap<JobId, u64>,
+    /// Placement-cache lookups answered without running the DRB mapping
+    /// (one lookup per machine equivalence class per arrival). 0 when the
+    /// cache is off.
+    pub eval_cache_hits: u64,
+    /// Placement-cache lookups that ran the full evaluation.
+    pub eval_cache_misses: u64,
+    /// Placement-cache entries displaced by LRU capacity pressure.
+    pub eval_cache_evictions: u64,
 }
 
 impl SimLoopStats {
@@ -247,7 +270,11 @@ impl Simulation {
         let state = ClusterState::new(Arc::clone(&cluster), profiles);
         let mut scheduler = Scheduler::new(
             state,
-            SchedulerConfig { policy: config.policy, eval: config.eval },
+            SchedulerConfig {
+                policy: config.policy,
+                eval: config.eval,
+                eval_cache: config.eval_cache,
+            },
         );
         scheduler.set_tracing(config.trace);
         let mut pending_failures = config.machine_failures.clone();
@@ -376,7 +403,20 @@ impl Simulation {
             .iter()
             .map(|r| r.finished_at_s)
             .fold(0.0, f64::max);
-        let trace = self.scheduler.take_trace();
+        let mut trace = self.scheduler.take_trace();
+        if let Some(cache) = self.scheduler.eval_cache_stats() {
+            self.stats.eval_cache_hits = cache.hits;
+            self.stats.eval_cache_misses = cache.misses;
+            self.stats.eval_cache_evictions = cache.evictions;
+            if self.config.trace {
+                trace.push(TraceEvent::EvalCacheStats {
+                    t_s: self.now,
+                    hits: cache.hits,
+                    misses: cache.misses,
+                    evictions: cache.evictions,
+                });
+            }
+        }
         let stats = std::mem::take(&mut self.stats);
         let result = SimResult {
             policy: self.config.policy.kind,
@@ -1083,6 +1123,53 @@ mod tests {
             assert_eq!(inc.events, reference.events, "{kind}");
             assert_eq!(inc.makespan_s.to_bits(), reference.makespan_s.to_bits(), "{kind}");
         }
+    }
+
+    /// Cache-on and cache-off runs must agree bit for bit, and a cached
+    /// run must surface its counters through `SimLoopStats` and the trace
+    /// footer (which is the only trace difference between the two).
+    #[test]
+    fn eval_cache_is_transparent_and_counted() {
+        let (c, p) = setup(2);
+        let trace: Vec<JobSpec> = (0..16)
+            .map(|i| {
+                job(
+                    i,
+                    [1u32, 2, 2, 4][(i % 4) as usize],
+                    BatchClass::ALL[(i % 4) as usize],
+                    i as f64 * 3.0,
+                    120,
+                )
+            })
+            .collect();
+        let run = |cached: bool| {
+            Simulation::new(
+                Arc::clone(&c),
+                Arc::clone(&p),
+                SimConfig::new(Policy::new(PolicyKind::TopoAware))
+                    .with_eval(EvalParams::parallel(2))
+                    .with_trace()
+                    .with_eval_cache(cached),
+            )
+            .run_with_stats(trace.clone())
+        };
+        let (mut on, on_stats) = run(true);
+        let (off, off_stats) = run(false);
+        assert!(on_stats.eval_cache_hits + on_stats.eval_cache_misses > 0);
+        assert_eq!(off_stats.eval_cache_hits, 0);
+        assert_eq!(off_stats.eval_cache_misses, 0);
+        match on.trace.pop() {
+            Some(TraceEvent::EvalCacheStats { hits, misses, evictions, .. }) => {
+                assert_eq!(hits, on_stats.eval_cache_hits);
+                assert_eq!(misses, on_stats.eval_cache_misses);
+                assert_eq!(evictions, on_stats.eval_cache_evictions);
+            }
+            other => panic!("expected EvalCacheStats footer, got {other:?}"),
+        }
+        assert_eq!(on.records, off.records, "records diverged");
+        assert_eq!(on.events, off.events, "events diverged");
+        assert_eq!(on.trace, off.trace, "traces diverged beyond the footer");
+        assert_eq!(on.makespan_s.to_bits(), off.makespan_s.to_bits());
     }
 
     /// The failure cursor must apply scripted failures exactly like the old

@@ -105,6 +105,9 @@ fn every_policy_passes_the_audit_and_drains_the_cluster() {
 /// One traced simulation with an explicit evaluation-engine setting.
 /// Even-numbered seeds also script a failure/recovery cycle so the engine
 /// is exercised across `fail_machine`/`recover_machine` invalidations.
+/// The cross-event cache is pinned off so the comparison isolates the
+/// memoized+parallel engine itself; `eval_cache_is_bit_identical_to_
+/// uncached_runs` below covers the cache layer.
 fn simulate_with_eval(
     seed: u64,
     n_machines: usize,
@@ -115,7 +118,10 @@ fn simulate_with_eval(
     let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
     let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
     let trace = WorkloadGenerator::with_defaults(seed).generate(24);
-    let mut config = SimConfig::new(Policy::new(kind)).with_trace().with_eval(eval);
+    let mut config = SimConfig::new(Policy::new(kind))
+        .with_trace()
+        .with_eval(eval)
+        .with_eval_cache(false);
     if seed.is_multiple_of(2) {
         config = config
             .with_machine_failures(vec![(50.0, MachineId(1))])
@@ -214,6 +220,81 @@ fn incremental_event_loop_is_bit_identical_to_reference() {
             assert_eq!(reference.failures, inc.failures, "{ctx}: failures");
             assert_eq!(reference.events, inc.events, "{ctx}: events");
             assert_eq!(reference.trace, inc.trace, "{ctx}: decision trace");
+        }
+    }
+}
+
+/// One traced simulation with an explicit cross-event-cache selection, on
+/// the evaluation engine path (the cache never engages on the sequential
+/// reference). Even seeds script a failure/recovery cycle so cached class
+/// keys survive `fail_machine`/`recover_machine` rebuilds; seeds divisible
+/// by 3 add execution jitter so completion times (and therefore the arrival
+/// interleavings the cache sees) vary per seed.
+fn simulate_with_cache(
+    seed: u64,
+    n_machines: usize,
+    kind: PolicyKind,
+    eval_cache: bool,
+) -> SimResult {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+    let trace = WorkloadGenerator::with_defaults(seed).generate(24);
+    let mut config = SimConfig::new(Policy::new(kind))
+        .with_trace()
+        .with_eval(EvalParams::parallel(4))
+        .with_eval_cache(eval_cache);
+    if seed.is_multiple_of(2) {
+        config = config
+            .with_machine_failures(vec![(50.0, MachineId(1))])
+            .with_machine_recoveries(vec![(400.0, MachineId(1))]);
+    }
+    if seed.is_multiple_of(3) {
+        config = config.with_jitter(0.08, seed.wrapping_mul(0x9E37_79B9) + 1);
+    }
+    Simulation::new(cluster, profiles, config).run(trace)
+}
+
+/// The cross-event placement cache must be invisible in every output: same
+/// records, same trace events, same metrics, for every policy across many
+/// seeds, including machine-failure and jitter runs. The only permitted
+/// difference is the `EvalCacheStats` trace footer, which is stripped
+/// before comparison. (`mean_decision_s` is wall-clock and legitimately
+/// differs.)
+#[test]
+fn eval_cache_is_bit_identical_to_uncached_runs() {
+    let strip_stats = |trace: Vec<TraceEvent>| -> Vec<TraceEvent> {
+        trace
+            .into_iter()
+            .filter(|e| !matches!(e, TraceEvent::EvalCacheStats { .. }))
+            .collect()
+    };
+    for kind in PolicyKind::ALL {
+        for seed in 0..8u64 {
+            let n_machines = 2 + (seed as usize % 3);
+            let cold = simulate_with_cache(seed, n_machines, kind, false);
+            let cached = simulate_with_cache(seed, n_machines, kind, true);
+            let ctx = format!("{kind:?} seed {seed} ({n_machines} machines)");
+            assert_eq!(cold.policy, cached.policy, "{ctx}: policy");
+            assert_eq!(cold.records, cached.records, "{ctx}: records");
+            assert_eq!(cold.unplaceable, cached.unplaceable, "{ctx}: unplaceable");
+            assert_eq!(cold.timeline, cached.timeline, "{ctx}: timeline");
+            assert_eq!(cold.utility_series, cached.utility_series, "{ctx}: utility series");
+            assert_eq!(
+                cold.makespan_s.to_bits(),
+                cached.makespan_s.to_bits(),
+                "{ctx}: makespan {} vs {}",
+                cold.makespan_s,
+                cached.makespan_s
+            );
+            assert_eq!(cold.slo_violations, cached.slo_violations, "{ctx}: SLO violations");
+            assert_eq!(cold.failures, cached.failures, "{ctx}: failures");
+            assert_eq!(cold.events, cached.events, "{ctx}: events");
+            assert_eq!(
+                strip_stats(cold.trace),
+                strip_stats(cached.trace),
+                "{ctx}: decision trace"
+            );
         }
     }
 }

@@ -42,9 +42,18 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Sending half of an unbounded channel.
+    /// The two std sender flavours behind the unified [`Sender`]: plain
+    /// `mpsc::Sender` for [`unbounded`] channels, `mpsc::SyncSender` for
+    /// [`bounded`] ones (its `send` blocks while the queue is full, which
+    /// is exactly crossbeam's bounded-channel backpressure).
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// Sending half of a channel.
     pub struct Sender<T> {
-        inner: Arc<Mutex<mpsc::Sender<T>>>,
+        inner: Arc<Mutex<SenderInner<T>>>,
     }
 
     impl<T> Clone for Sender<T> {
@@ -60,9 +69,19 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Sends a value. On a [`bounded`] channel this blocks while the
+        /// queue is full (holding the sender lock, so concurrent senders
+        /// queue behind the block — fine for single-producer use).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-            guard.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            match &*guard {
+                SenderInner::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+                SenderInner::Bounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+            }
         }
     }
 
@@ -116,7 +135,18 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
         (
-            Sender { inner: Arc::new(Mutex::new(tx)) },
+            Sender { inner: Arc::new(Mutex::new(SenderInner::Unbounded(tx))) },
+            Receiver { inner: Arc::new(Mutex::new(rx)) },
+        )
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` queued
+    /// messages; `send` blocks until space frees up, so a producer can
+    /// never run further ahead of its consumers than the capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender { inner: Arc::new(Mutex::new(SenderInner::Bounded(tx))) },
             Receiver { inner: Arc::new(Mutex::new(rx)) },
         )
     }
@@ -159,6 +189,32 @@ pub mod channel {
         #[test]
         fn disconnect_reported_on_send() {
             let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_delivers_in_order_under_backpressure() {
+            // Capacity 2 with 100 messages forces the producer to block
+            // repeatedly; everything must still arrive exactly once, in
+            // order.
+            let (tx, rx) = bounded::<u32>(2);
+            let handle = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                got.push(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+            }
+            handle.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn bounded_send_errors_after_receiver_drops() {
+            let (tx, rx) = bounded::<u32>(1);
             drop(rx);
             assert!(tx.send(1).is_err());
         }

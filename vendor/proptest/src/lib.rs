@@ -328,7 +328,7 @@ pub mod bool {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed size or a range of sizes.
+    /// Length specification for [`vec()`]: a fixed size or a range of sizes.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }
