@@ -11,6 +11,11 @@
 //! gts bench [--smoke] [--out BENCH_sched.json]
 //!                                         # microbench the placement
 //!                                         # engine and emit JSON
+//! gts bench scale-curve [--smoke] [--out BENCH_sched.json]
+//!                                         # sweep cluster sizes under the
+//!                                         # sharded scheduler and merge
+//!                                         # machines-vs-decision-latency
+//!                                         # points into the report
 //! ```
 
 use gts_bench::appendix::{AlgoConfig, SysConfig};
@@ -94,6 +99,9 @@ fn main() -> ExitCode {
 /// `gts bench`: run the placement-engine microbench suite and write
 /// `BENCH_sched.json`. `--smoke` shrinks sample counts for CI.
 fn run_bench(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) == Some("scale-curve") {
+        return run_scale_curve(&args[1..]);
+    }
     let mut smoke = false;
     let mut out = "BENCH_sched.json".to_string();
     let mut it = args.iter();
@@ -109,7 +117,7 @@ fn run_bench(args: &[String]) -> ExitCode {
             },
             other => {
                 eprintln!("unknown argument '{other}'");
-                eprintln!("usage: gts bench [--smoke] [--out BENCH_sched.json]");
+                eprintln!("usage: gts bench [scale-curve] [--smoke] [--out BENCH_sched.json]");
                 return ExitCode::FAILURE;
             }
         }
@@ -138,6 +146,67 @@ fn run_bench(args: &[String]) -> ExitCode {
         report.eval_cache_hit_rate,
         if smoke { "  [smoke — not comparable]" } else { "" },
     );
+    println!(
+        "sim/huge decision-latency speedup (single-shard/sharded): {:.2}x{}",
+        report.huge_decision_speedup,
+        if smoke { "  [smoke — not comparable]" } else { "" },
+    );
+    if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+/// `gts bench scale-curve`: sweep cluster sizes under the sharded
+/// scheduler and merge the machines-vs-decision-latency points into an
+/// existing `BENCH_sched.json` (which must have been written by
+/// `gts bench` first — the rest of the report is preserved).
+fn run_scale_curve(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut out = "BENCH_sched.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: gts bench scale-curve [--smoke] [--out BENCH_sched.json]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut report = match std::fs::read_to_string(&out)
+        .map_err(|e| format!("cannot read {out}: {e} (run `gts bench` first)"))
+        .and_then(|json| gts_bench::perfbench::BenchReport::from_json(&json))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report.scale_curve = gts_bench::perfbench::scale_curve(smoke);
+    for p in &report.scale_curve {
+        println!(
+            "{:>6} machines / {:>4} shard(s): mean decision {:>9.1} µs over {} jobs \
+             ({} ms wall){}",
+            p.machines,
+            p.shards,
+            p.mean_decision_ns as f64 / 1_000.0,
+            p.jobs,
+            p.wall_ms,
+            if smoke { "  [smoke — not comparable]" } else { "" },
+        );
+    }
     if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 /// One benchmark's timings (mirrors `criterion::BenchRecord`, serializable
 /// with the vendored serde, which caps integers at `u64`).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct BenchEntry {
     /// `group/name` label.
     pub label: String,
@@ -38,8 +38,27 @@ pub struct BenchEntry {
     pub samples: u64,
 }
 
-/// The `BENCH_sched.json` payload.
-#[derive(Debug, Clone, serde::Serialize)]
+/// One machines-vs-decision-latency sample of the sharded scheduler
+/// (`gts bench scale-curve`).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ScalePoint {
+    /// Cluster size the sample ran at.
+    pub machines: u64,
+    /// Shard count (rack-aligned: one shard per rack).
+    pub shards: u64,
+    /// Jobs in the sustained Poisson stream.
+    pub jobs: u64,
+    /// `SimResult::mean_decision_s` in nanoseconds — the per-decision
+    /// scheduler latency the two-level path is supposed to keep flat.
+    pub mean_decision_ns: u64,
+    /// End-to-end wall time of the whole run, milliseconds.
+    pub wall_ms: u64,
+}
+
+/// The `BENCH_sched.json` payload. Deserializable so `gts bench
+/// scale-curve` can merge fresh curve points into a committed report
+/// without re-running the whole suite.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct BenchReport {
     /// Worker threads the engine ran with (`GTS_EVAL_THREADS`).
     pub threads: u64,
@@ -64,6 +83,16 @@ pub struct BenchReport {
     /// hits / (hits + misses) of the placement cache over one full
     /// `sim/large_cached`-shaped run (0 when the cache saw no lookups).
     pub eval_cache_hit_rate: f64,
+    /// Single-shard mean decision latency over sharded mean decision
+    /// latency for the datacenter-scale simulation
+    /// (`decision/huge_single` / `decision/huge_sharded`) — the two-level
+    /// scheduler's headline win.
+    #[serde(default)]
+    pub huge_decision_speedup: f64,
+    /// Machines-vs-decision-latency samples from `gts bench scale-curve`
+    /// (empty until that subcommand merges them in).
+    #[serde(default)]
+    pub scale_curve: Vec<ScalePoint>,
     /// All benchmark timings.
     pub results: Vec<BenchEntry>,
 }
@@ -72,6 +101,11 @@ impl BenchReport {
     /// Pretty JSON for `BENCH_sched.json`.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a previously written `BENCH_sched.json`.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("malformed bench report: {e}"))
     }
 
     /// Mean nanoseconds of the entry with this label, if present.
@@ -263,6 +297,20 @@ pub fn run(smoke: bool) -> BenchReport {
         loop_stats.eval_cache_hits as f64 / lookups as f64
     };
 
+    // 5. The datacenter-scale pair: the sharded two-level scheduler vs the
+    // single-shard reference on a rack-partitioned cluster under a
+    // sustained Poisson stream dense enough to keep the cluster saturated.
+    // Timed once with `Instant` (a criterion warmup would double a
+    // minutes-long run for no variance benefit); the decision/* entries
+    // carry `SimResult::mean_decision_s` — per-decision scheduler latency,
+    // the quantity the shard admission pass is supposed to keep flat —
+    // rather than wall time.
+    let (huge_racks, huge_per_rack, huge_jobs) = if smoke { (8, 4, 256) } else { (128, 32, 50_000) };
+    let (huge_cluster, huge_profiles) = racked_minsky_cluster(huge_racks, huge_per_rack);
+    let huge_trace = poisson_trace(huge_racks * huge_per_rack, huge_jobs, 3003);
+    let single = sharded_sim(&huge_cluster, &huge_profiles, &huge_trace, 1);
+    let sharded = sharded_sim(&huge_cluster, &huge_profiles, &huge_trace, huge_racks);
+
     let mut results: Vec<BenchEntry> = c
         .take_records()
         .into_iter()
@@ -275,6 +323,23 @@ pub fn run(smoke: bool) -> BenchReport {
             samples: r.samples as u64,
         })
         .collect();
+    for (label, wall_ns, decision_ns) in [
+        ("sim/huge_single", single.0, single.1),
+        ("sim/huge_sharded", sharded.0, sharded.1),
+    ] {
+        results.push(BenchEntry {
+            label: label.to_string(),
+            mean_ns: wall_ns,
+            min_ns: wall_ns,
+            samples: 1,
+        });
+        results.push(BenchEntry {
+            label: label.replace("sim/", "decision/"),
+            mean_ns: decision_ns,
+            min_ns: decision_ns,
+            samples: 1,
+        });
+    }
     results.sort_by(|a, b| a.label.cmp(&b.label));
 
     let report = BenchReport {
@@ -285,6 +350,8 @@ pub fn run(smoke: bool) -> BenchReport {
         warm_arrival_speedup: 0.0,
         sim_cache_speedup: 0.0,
         eval_cache_hit_rate,
+        huge_decision_speedup: 0.0,
+        scale_curve: Vec::new(),
         results,
     };
     let ratio = |num: &str, den: &str| match (report.mean_ns(num), report.mean_ns(den)) {
@@ -295,13 +362,91 @@ pub fn run(smoke: bool) -> BenchReport {
     let sim_loop_speedup = ratio("sim/large_reference", "sim/large_incremental");
     let warm_arrival_speedup = ratio("arrival/topo256_cold", "arrival/topo256_warm");
     let sim_cache_speedup = ratio("sim/large_incremental", "sim/large_cached");
+    let huge_decision_speedup = ratio("decision/huge_single", "decision/huge_sharded");
     BenchReport {
         arrival_speedup,
         sim_loop_speedup,
         warm_arrival_speedup,
         sim_cache_speedup,
+        huge_decision_speedup,
         ..report
     }
+}
+
+/// A rack-partitioned Minsky cluster (rack-major contiguous machine ids,
+/// so the auto shard spec follows the racks).
+fn racked_minsky_cluster(
+    n_racks: usize,
+    per_rack: usize,
+) -> (Arc<ClusterTopology>, Arc<ProfileLibrary>) {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous_racked(machine, n_racks, per_rack));
+    (cluster, profiles)
+}
+
+/// A sustained Poisson stream sized to keep `n_machines` saturated: the
+/// 90 jobs/min that loads 256 machines in `sim/large_*` is scaled
+/// linearly with cluster size.
+fn poisson_trace(n_machines: usize, n_jobs: usize, seed: u64) -> Vec<JobSpec> {
+    let gen = GeneratorConfig {
+        arrival_rate_per_min: 90.0 * (n_machines as f64 / 256.0),
+        iterations: 150,
+        ..GeneratorConfig::default()
+    };
+    WorkloadGenerator::new(gen, seed).generate(n_jobs)
+}
+
+/// One full simulation with an explicit shard count, returning
+/// `(wall_ns, mean_decision_ns)`.
+fn sharded_sim(
+    cluster: &Arc<ClusterTopology>,
+    profiles: &Arc<ProfileLibrary>,
+    trace: &[JobSpec],
+    shards: usize,
+) -> (u64, u64) {
+    let config = SimConfig::new(Policy::new(PolicyKind::TopoAware))
+        .with_eval(EvalParams::from_env())
+        .with_incremental(true)
+        .with_eval_cache(true)
+        .with_shards(shards);
+    let started = std::time::Instant::now();
+    let result = Simulation::new(Arc::clone(cluster), Arc::clone(profiles), config)
+        .run(trace.to_vec());
+    let wall_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    (wall_ns, (result.mean_decision_s * 1e9).round() as u64)
+}
+
+/// Runs the sharded scheduler across a sweep of cluster sizes and returns
+/// one machines-vs-decision-latency point per size (`gts bench
+/// scale-curve`). Rack size is fixed (32 machines full, 4 smoke) so the
+/// shard count grows with the cluster, as a rack-aligned deployment's
+/// would; jobs and arrival rate scale linearly so every size sees the
+/// same saturation regime.
+pub fn scale_curve(smoke: bool) -> Vec<ScalePoint> {
+    let (sizes, per_rack, jobs_per_machine): (&[usize], usize, usize) = if smoke {
+        (&[16, 32, 64], 4, 4)
+    } else {
+        (&[256, 1024, 4096], 32, 6)
+    };
+    sizes
+        .iter()
+        .map(|&machines| {
+            let n_racks = machines / per_rack;
+            let (cluster, profiles) = racked_minsky_cluster(n_racks, per_rack);
+            let jobs = machines * jobs_per_machine;
+            let trace = poisson_trace(machines, jobs, 3003);
+            let (wall_ns, mean_decision_ns) =
+                sharded_sim(&cluster, &profiles, &trace, n_racks);
+            ScalePoint {
+                machines: machines as u64,
+                shards: n_racks as u64,
+                jobs: jobs as u64,
+                mean_decision_ns,
+                wall_ms: wall_ns / 1_000_000,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -324,6 +469,10 @@ mod tests {
             "sim/large_reference",
             "sim/large_incremental",
             "sim/large_cached",
+            "sim/huge_single",
+            "sim/huge_sharded",
+            "decision/huge_single",
+            "decision/huge_sharded",
         ] {
             assert!(
                 report.mean_ns(label).is_some_and(|ns| ns > 0),
@@ -334,6 +483,7 @@ mod tests {
         assert!(report.sim_loop_speedup > 0.0);
         assert!(report.warm_arrival_speedup > 0.0);
         assert!(report.sim_cache_speedup > 0.0);
+        assert!(report.huge_decision_speedup > 0.0);
         assert!(
             (0.0..=1.0).contains(&report.eval_cache_hit_rate),
             "hit rate must be a ratio, got {}",
@@ -348,6 +498,38 @@ mod tests {
         assert!(json.contains("topo64_engine"));
         assert!(json.contains("large_incremental"));
         assert!(json.contains("large_cached"));
+        assert!(json.contains("huge_decision_speedup"));
+        // The merge path `gts bench scale-curve` relies on: reports round-
+        // trip through JSON, including one with curve points attached.
+        let mut back = BenchReport::from_json(&json).expect("report round-trips");
+        assert_eq!(back.results.len(), report.results.len());
+        assert!(back.scale_curve.is_empty(), "run() leaves the curve to the subcommand");
+        back.scale_curve = vec![ScalePoint {
+            machines: 16,
+            shards: 4,
+            jobs: 64,
+            mean_decision_ns: 1,
+            wall_ms: 1,
+        }];
+        let merged = BenchReport::from_json(&back.to_json()).expect("merged round-trips");
+        assert_eq!(merged.scale_curve.len(), 1);
+        assert!(BenchReport::from_json("{broken").is_err());
+    }
+
+    /// The scale-curve sweep must produce one point per cluster size, with
+    /// rack-aligned shard counts and live latency numbers.
+    #[test]
+    fn scale_curve_smoke_produces_ordered_points() {
+        let points = scale_curve(true);
+        assert_eq!(points.len(), 3);
+        for w in points.windows(2) {
+            assert!(w[0].machines < w[1].machines, "sizes must ascend");
+        }
+        for p in &points {
+            assert_eq!(p.machines % p.shards, 0, "shards must tile the cluster");
+            assert!(p.jobs > 0);
+            assert!(p.mean_decision_ns > 0, "decision latency unmeasured at {}", p.machines);
+        }
     }
 
     #[test]

@@ -68,10 +68,11 @@ pub mod prelude {
     pub use gts_sched::{
         launch_plan, Allocation, CandidateEval, ClusterState, EvalCache, EvalCacheStats,
         EvalOutcome, EvalParams, LaunchPlan, PlacementOutcome, Policy, PolicyKind, Scheduler,
-        SchedulerConfig, TraceEvent,
+        SchedulerConfig, ShardIndex, ShardSpec, TraceEvent,
     };
     pub use gts_sim::{
-        engine::simulate, JobRecord, SimConfig, SimResult, Simulation, TimelineSegment,
+        engine::simulate, JobRecord, SimConfig, SimConfigError, SimLoopStats, SimResult,
+        Simulation, TimelineSegment,
     };
     pub use gts_topo::{
         dgx1, parse_topo_matrix, power8_minsky, power8_pcie_k80, symmetric_machine,

@@ -38,7 +38,7 @@ use gts_topo::{GpuId, MachineId};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Spawning threads for a couple of representatives costs more than the
 /// evaluations; below this many distinct classes the engine stays on the
@@ -326,10 +326,56 @@ impl Shard {
 /// that).
 pub struct EvalCache {
     shards: Vec<Mutex<Shard>>,
+    /// Cross-decision memo of whole-shard evaluations for the two-level
+    /// sharded path, keyed by (state shard, job class) and guarded by the
+    /// shard index's `(epoch, version)` pair — see [`ShardClassed`].
+    shard_memo: Mutex<HashMap<ShardMemoKey, ShardMemoEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
+
+/// One state-shard's fully grouped evaluation for one job class: the
+/// capacity-filtered candidate list (ascending machine id), the class
+/// grouping with per-class outcomes, and the shard-local `u_max` fold —
+/// everything `decide_topo_sharded` needs to stream its selection scan
+/// without re-walking the shard's machines.
+///
+/// Validity is proven by the shard index's `(epoch, version)` pair: the
+/// version advances whenever a member machine's class key is rebuilt, and
+/// every eval-relevant mutation rebuilds the touched machine's key (the
+/// same purity argument that keeps [`EvalCache`] entries from going stale,
+/// DESIGN.md §9–§10). An unchanged pair therefore pins both the candidate
+/// set (free masks are key components) and every class outcome.
+pub(crate) struct ShardClassed {
+    /// Shard members with `free_count >= job.n_gpus`, ascending id.
+    pub candidates: Vec<MachineId>,
+    /// Class grouping + one outcome per class, aligned with `candidates`.
+    pub classed: ClassedOutcomes,
+    /// `max` fold of the feasible utilities in candidate order
+    /// (`NEG_INFINITY` when none are feasible).
+    pub u_max: f64,
+}
+
+/// Memo key: which state shard, for which job class. `JobClassKey` already
+/// carries `n_gpus`, so the capacity filter baked into `candidates` is
+/// part of the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ShardMemoKey {
+    shard: usize,
+    job: JobClassKey,
+}
+
+struct ShardMemoEntry {
+    epoch: u64,
+    version: u64,
+    value: Arc<ShardClassed>,
+}
+
+/// Safety valve on distinct (shard, job class) keys per cache. Each cache
+/// normally serves one state shard, and real traces carry a few dozen job
+/// classes, so this is far above steady state.
+const SHARD_MEMO_CAP: usize = 512;
 
 impl std::fmt::Debug for EvalCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -344,10 +390,51 @@ impl EvalCache {
         let per_shard = capacity.div_ceil(N_SHARDS).max(1);
         Self {
             shards: (0..N_SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            shard_memo: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Looks up the memoized whole-shard evaluation for (`shard`, `job`) —
+    /// a hit requires the stored `(epoch, version)` pair to match the live
+    /// shard index exactly. `None` for uncacheable jobs (explicit comm
+    /// graph) or stale/absent entries.
+    pub(crate) fn shard_classed_get(
+        &self,
+        shard: usize,
+        epoch: u64,
+        version: u64,
+        job: &JobSpec,
+        weights: UtilityWeights,
+    ) -> Option<Arc<ShardClassed>> {
+        let job = JobClassKey::of(job, weights)?;
+        let memo = self.shard_memo.lock().expect("shard memo poisoned");
+        let entry = memo.get(&ShardMemoKey { shard, job })?;
+        (entry.epoch == epoch && entry.version == version).then(|| Arc::clone(&entry.value))
+    }
+
+    /// Stores a whole-shard evaluation under the shard index's current
+    /// `(epoch, version)`. Overwrites any older entry for the same key;
+    /// clears the memo wholesale past [`SHARD_MEMO_CAP`] distinct keys.
+    pub(crate) fn shard_classed_put(
+        &self,
+        shard: usize,
+        epoch: u64,
+        version: u64,
+        job: &JobSpec,
+        weights: UtilityWeights,
+        value: Arc<ShardClassed>,
+    ) {
+        let Some(job) = JobClassKey::of(job, weights) else {
+            return;
+        };
+        let mut memo = self.shard_memo.lock().expect("shard memo poisoned");
+        if memo.len() >= SHARD_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(ShardMemoKey { shard, job }, ShardMemoEntry { epoch, version, value });
     }
 
     /// A cache sized by `GTS_EVAL_CACHE` (default capacity when the knob
@@ -355,6 +442,18 @@ impl EvalCache {
     /// [`EvalCache::enabled_by_env`] to honor it.
     pub fn from_env() -> Self {
         Self::with_capacity(cache_env().unwrap_or(DEFAULT_CACHE_CAPACITY))
+    }
+
+    /// One cache per shard for the two-level decision path, each with the
+    /// full `GTS_EVAL_CACHE` capacity. Splitting one budget across shards
+    /// was measurably worse: every shard has to learn every (machine
+    /// class, job class) pair independently, so fractional capacities
+    /// churn under LRU pressure exactly when the shard count grows. Keys
+    /// are pure functions of state, so which shard's cache answers a
+    /// lookup never affects the bits it returns.
+    pub fn from_env_per_shard(n_shards: usize) -> Vec<Self> {
+        let capacity = cache_env().unwrap_or(DEFAULT_CACHE_CAPACITY);
+        (0..n_shards.max(1)).map(|_| Self::with_capacity(capacity)).collect()
     }
 
     /// Whether `GTS_EVAL_CACHE` leaves the cache enabled (anything but
@@ -477,7 +576,42 @@ pub(crate) fn evaluate_topo_candidates(
             .map(|&m| evaluate_one(state, job, graph, weights, m))
             .collect();
     }
+    let classed = evaluate_topo_classes(state, job, graph, weights, candidates, params, cache);
+    // Fan each class result out to its members, preserving candidate order.
+    classed
+        .class_of
+        .into_iter()
+        .map(|c| classed.outcomes[c].clone())
+        .collect()
+}
 
+/// Class-grouped candidate evaluation without the per-candidate fan-out:
+/// each candidate maps to an index into `outcomes` via `class_of`. The
+/// two-level sharded decision path consumes this form directly, streaming
+/// the selection scan over by-reference class outcomes instead of cloning
+/// one outcome per candidate machine.
+pub(crate) struct ClassedOutcomes {
+    /// Per candidate (input order): index into `outcomes`.
+    pub class_of: Vec<usize>,
+    /// One outcome per distinct equivalence class.
+    pub outcomes: Vec<CandidateOutcome>,
+}
+
+/// The engine's class-level core: groups `candidates` into equivalence
+/// classes via the state's precomputed keys, answers what it can from the
+/// cross-event `cache`, and evaluates the remaining representatives (in
+/// parallel when there are enough of them). Outcomes are bit-identical to
+/// evaluating each candidate individually, by the class-key purity
+/// argument (DESIGN.md §7, §9).
+pub(crate) fn evaluate_topo_classes(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    candidates: &[MachineId],
+    params: EvalParams,
+    cache: Option<&EvalCache>,
+) -> ClassedOutcomes {
     // Group candidates into equivalence classes; the first member of each
     // class is its representative. Keys are precomputed by `ClusterState`
     // (rebuilt only for machines the last events touched), so this loop is
@@ -523,7 +657,9 @@ pub(crate) fn evaluate_topo_candidates(
     let fresh: Vec<CandidateOutcome> =
         if pending.len() >= MIN_PARALLEL_CLASSES && params.threads > 1 {
             let machines: Vec<MachineId> = pending.iter().map(|&i| reps[i]).collect();
-            evaluate_parallel(state, job, graph, weights, &machines, params.threads)
+            run_indexed(machines.len(), params.threads, |i| {
+                evaluate_one(state, job, graph, weights, machines[i])
+            })
         } else {
             pending
                 .iter()
@@ -539,55 +675,78 @@ pub(crate) fn evaluate_topo_candidates(
         }
         rep_outcomes[i] = Some(outcome);
     }
-
-    // Fan each class result out to its members, preserving candidate order.
-    class_of
-        .into_iter()
-        .map(|c| rep_outcomes[c].clone().expect("every class evaluated"))
-        .collect()
+    ClassedOutcomes {
+        class_of,
+        outcomes: rep_outcomes
+            .into_iter()
+            .map(|o| o.expect("every class evaluated"))
+            .collect(),
+    }
 }
 
-/// Evaluates the representatives on a scoped worker pool. A shared
-/// `crossbeam` channel serves as the work queue; results land in indexed
-/// slots so the output order is the input order, independent of thread
-/// scheduling.
-fn evaluate_parallel(
-    state: &ClusterState,
-    job: &JobSpec,
-    graph: &JobGraph,
-    weights: UtilityWeights,
-    reps: &[MachineId],
-    threads: usize,
-) -> Vec<CandidateOutcome> {
-    let n_workers = threads.min(reps.len());
-    let (tx_work, rx_work) = crossbeam::channel::unbounded::<usize>();
-    for i in 0..reps.len() {
-        tx_work.send(i).expect("work queue open");
+/// Runs `f(0)..f(n-1)` on a scoped pool of up to `threads` workers,
+/// returning results in index order regardless of thread interleaving.
+///
+/// If a worker panics, its actual panic payload is re-raised on the
+/// caller's thread. The work queue is a bounded channel fed *inside* the
+/// scope: when every worker has died the feed send fails and the feeder
+/// simply stops, so the join below surfaces the worker's own panic instead
+/// of the feeder masking it with a closed-channel panic of its own.
+pub(crate) fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
     }
-    drop(tx_work);
-    let (tx_out, rx_out) = crossbeam::channel::unbounded::<(usize, CandidateOutcome)>();
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            let rx_work = rx_work.clone();
-            let tx_out = tx_out.clone();
-            scope.spawn(move || {
-                while let Ok(i) = rx_work.recv() {
-                    let outcome = evaluate_one(state, job, graph, weights, reps[i]);
-                    if tx_out.send((i, outcome)).is_err() {
-                        break;
+    let n_workers = threads.min(n).max(1);
+    let (tx_work, rx_work) = crossbeam::channel::bounded::<usize>(n_workers);
+    let (tx_out, rx_out) = crossbeam::channel::unbounded::<(usize, T)>();
+    let panic_payload = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let rx_work = rx_work.clone();
+                let tx_out = tx_out.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    while let Ok(i) = rx_work.recv() {
+                        let out = f(i);
+                        if tx_out.send((i, out)).is_err() {
+                            break;
+                        }
                     }
-                }
-            });
+                })
+            })
+            .collect();
+        // Drop the feeder-side receiver clone source so a fully-dead pool
+        // closes the channel (send fails) instead of blocking forever.
+        drop(rx_work);
+        drop(tx_out);
+        for i in 0..n {
+            if tx_work.send(i).is_err() {
+                break;
+            }
         }
+        drop(tx_work);
+        let mut payload = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        payload
     });
-    drop(tx_out);
-    let mut slots: Vec<Option<CandidateOutcome>> = vec![None; reps.len()];
-    for (i, outcome) in rx_out.try_iter() {
-        slots[i] = Some(outcome);
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx_out.try_iter() {
+        slots[i] = Some(out);
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every representative evaluated"))
+        .map(|s| s.expect("every work item evaluated"))
         .collect()
 }
 
@@ -780,6 +939,36 @@ mod tests {
     }
 
     #[test]
+    fn pool_returns_results_in_index_order() {
+        let out = run_indexed(257, 4, |i| i * 3);
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+        assert_eq!(run_indexed(1, 8, |i| i), vec![0]);
+        assert!(run_indexed(0, 4, |i: usize| i).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_death_propagates_the_real_panic_not_a_closed_channel() {
+        // Every item panics, so the whole pool dies while the feeder still
+        // has work queued — exactly the shape that used to panic with
+        // "work queue open" on the feeding side, masking the worker's
+        // payload. The fix must surface the worker's own message.
+        run_indexed(64, 4, |_: usize| -> usize { panic!("worker boom") });
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn single_worker_death_among_healthy_ones_still_propagates() {
+        run_indexed(64, 4, |i| {
+            if i == 37 {
+                panic!("worker boom");
+            }
+            i
+        });
+    }
+
+    #[test]
     fn lru_evicts_and_counts() {
         // Single-slot-per-shard cache: filling it with distinct job widths
         // must evict. (8 shards × 1 entry; 9+ distinct keys guarantee at
@@ -795,5 +984,54 @@ mod tests {
             }
         }
         assert!(cache.stats().evictions >= 1, "capacity-1 shards must evict");
+    }
+
+    #[test]
+    fn shard_memo_round_trips_and_guards_on_epoch_and_version() {
+        let s = state(4);
+        let j = job(0, 2);
+        let weights = UtilityWeights::default();
+        let cache = EvalCache::with_capacity(16);
+        let candidates: Vec<MachineId> = s.machines_with_capacity(2);
+        let graph = JobGraph::from_spec(&j);
+        let classed = evaluate_topo_classes(
+            &s,
+            &j,
+            &graph,
+            weights,
+            &candidates,
+            EvalParams::sequential(),
+            None,
+        );
+        let entry = Arc::new(ShardClassed { candidates, classed, u_max: 0.75 });
+        assert!(
+            cache.shard_classed_get(0, 7, 3, &j, weights).is_none(),
+            "empty memo has no entry"
+        );
+        cache.shard_classed_put(0, 7, 3, &j, weights, Arc::clone(&entry));
+        let hit = cache.shard_classed_get(0, 7, 3, &j, weights).expect("exact pair hits");
+        assert_eq!(hit.candidates, entry.candidates);
+        assert_eq!(hit.u_max.to_bits(), entry.u_max.to_bits());
+        assert!(
+            cache.shard_classed_get(0, 7, 4, &j, weights).is_none(),
+            "a bumped version invalidates"
+        );
+        assert!(
+            cache.shard_classed_get(0, 8, 3, &j, weights).is_none(),
+            "another index's epoch never aliases"
+        );
+        assert!(
+            cache.shard_classed_get(1, 7, 3, &j, weights).is_none(),
+            "entries are per state-shard"
+        );
+        assert!(
+            cache.shard_classed_get(0, 7, 3, &job(1, 3), weights).is_none(),
+            "a different job class misses"
+        );
+        // Uncacheable jobs (explicit comm graph) bypass the memo entirely.
+        let mut exotic = job(2, 2);
+        exotic.comm_graph = Some(JobGraph::uniform(2, 1.0));
+        cache.shard_classed_put(0, 7, 3, &exotic, weights, entry);
+        assert!(cache.shard_classed_get(0, 7, 3, &exotic, weights).is_none());
     }
 }

@@ -11,6 +11,9 @@
 //!   pool, and the `GTS_EVAL_THREADS` knob;
 //! * [`policy`] — the four evaluated policies: `TOPO-AWARE`,
 //!   `TOPO-AWARE-P` (postponing), `FCFS` and Best-Fit (`BF`);
+//! * [`shard`] — machine-partition sharding for datacenter scale: the
+//!   rack-aligned (or `GTS_SHARDS`-chosen) partition plus per-shard
+//!   admission aggregates behind the two-level decision path;
 //! * [`scheduler`] — the Algorithm 1 loop: arrival-ordered queue, host
 //!   filtering, placement or postponement, SLO accounting;
 //! * [`overhead`] — decision-latency metering for the §5.5.3 analysis;
@@ -25,6 +28,7 @@ pub mod oracle;
 pub mod overhead;
 pub mod policy;
 pub mod scheduler;
+pub mod shard;
 pub mod spill;
 pub mod state;
 pub mod trace;
@@ -35,6 +39,7 @@ pub use oracle::StateOracle;
 pub use overhead::DecisionStats;
 pub use policy::{Policy, PolicyKind};
 pub use scheduler::{CancelOutcome, PlacementOutcome, Scheduler, SchedulerConfig};
+pub use shard::{ShardIndex, ShardSpec};
 pub use spill::{decide_spill, ClusterOracle};
 pub use state::{Allocation, ClusterState};
 pub use trace::{CandidateEval, EvalOutcome, TraceEvent};

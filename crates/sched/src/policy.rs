@@ -13,7 +13,10 @@
 //!   variant additionally *postpones* jobs whose best utility falls below
 //!   their `min_utility` SLO.
 
-use crate::eval::{evaluate_topo_candidates, CandidateOutcome, EvalCache, EvalParams};
+use crate::eval::{
+    evaluate_topo_candidates, evaluate_topo_classes, CandidateOutcome, EvalCache, EvalParams,
+    ShardClassed,
+};
 use crate::oracle::{placement_components, placement_utility, StateOracle};
 use crate::state::{on_machine, ClusterState};
 use crate::trace::{CandidateEval, EvalOutcome};
@@ -121,7 +124,22 @@ impl Policy {
         params: EvalParams,
         cache: Option<&EvalCache>,
     ) -> Option<Decision> {
-        self.decide_impl(state, job, None, params, cache)
+        self.decide_impl(state, job, None, params, cache.map(std::slice::from_ref))
+    }
+
+    /// [`Policy::decide_with_cache`] with one cache per shard: the
+    /// two-level decision path (engaged when the state holds more than one
+    /// shard) looks shard `s` up in `caches[s % caches.len()]`, keeping
+    /// cache working sets shard-local. Cache keys are pure functions of
+    /// state, so the cache-to-shard assignment never changes the decision.
+    pub fn decide_with_caches(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        params: EvalParams,
+        caches: Option<&[EvalCache]>,
+    ) -> Option<Decision> {
+        self.decide_impl(state, job, None, params, caches)
     }
 
     /// Like [`Policy::decide`], but records every candidate machine the
@@ -157,7 +175,21 @@ impl Policy {
         params: EvalParams,
         cache: Option<&EvalCache>,
     ) -> Option<Decision> {
-        self.decide_impl(state, job, Some(evals), params, cache)
+        self.decide_impl(state, job, Some(evals), params, cache.map(std::slice::from_ref))
+    }
+
+    /// [`Policy::decide_with_caches`] recording per-candidate evaluations.
+    /// Tracing always takes the flat reference path (per-candidate records
+    /// need per-candidate components), so only `caches[0]` is consulted.
+    pub fn decide_traced_with_caches(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        evals: &mut Vec<CandidateEval>,
+        params: EvalParams,
+        caches: Option<&[EvalCache]>,
+    ) -> Option<Decision> {
+        self.decide_impl(state, job, Some(evals), params, caches)
     }
 
     fn record_eval(
@@ -200,7 +232,7 @@ impl Policy {
         job: &JobSpec,
         mut trace: Option<&mut Vec<CandidateEval>>,
         params: EvalParams,
-        cache: Option<&EvalCache>,
+        caches: Option<&[EvalCache]>,
     ) -> Option<Decision> {
         if job.constraints.anti_collocate && job.n_gpus > 1 {
             let decision = self.decide_anti_collocated(state, job);
@@ -217,6 +249,19 @@ impl Policy {
                 }
             }
             return decision;
+        }
+        // The two-level sharded path (DESIGN.md §10): admission over shard
+        // aggregates, then shard-local class evaluation with a streaming
+        // selection scan — no per-candidate clones or allocations. Engaged
+        // only for the topo policies when the state is actually sharded and
+        // nothing forces the flat reference (tracing needs per-candidate
+        // records; sequential params *are* the reference).
+        if matches!(self.kind, PolicyKind::TopoAware | PolicyKind::TopoAwareP)
+            && trace.is_none()
+            && !params.is_sequential()
+            && state.shards().n_shards() > 1
+        {
+            return self.decide_topo_sharded(state, job, params, caches);
         }
         let n = job.n_gpus as usize;
         let candidates = state.machines_with_capacity(n);
@@ -295,7 +340,7 @@ impl Policy {
                     self.weights,
                     &candidates,
                     params,
-                    cache,
+                    caches.and_then(|cs| cs.first()),
                 );
                 let mut feasible: Vec<(Decision, f64, usize)> = Vec::new();
                 for (&machine, outcome) in candidates.iter().zip(outcomes) {
@@ -344,6 +389,144 @@ impl Policy {
                 Some(d)
             }
         }
+    }
+
+    /// The two-level sharded decision for `TOPO-AWARE(-P)`:
+    ///
+    /// 1. **Admission** — consult every shard's aggregates and drop shards
+    ///    with no machine wide enough for the job (O(shards), counters on
+    ///    the shard index record the skip rate);
+    /// 2. **Shard-local placement** — enumerate candidates shard by shard
+    ///    (contiguous ascending ranges, so the concatenation reproduces the
+    ///    flat candidate order exactly), evaluate per-shard equivalence
+    ///    classes against that shard's [`EvalCache`], and stream the
+    ///    reference `select_candidate` scan over the by-reference class
+    ///    outcomes — identical comparisons in identical order, but without
+    ///    materializing a `Decision` per feasible candidate.
+    ///
+    /// Only the winning candidate's GPUs are cloned into the returned
+    /// [`Decision`], which is bit-identical to the flat path's.
+    fn decide_topo_sharded(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        params: EvalParams,
+        caches: Option<&[EvalCache]>,
+    ) -> Option<Decision> {
+        let n = job.n_gpus as usize;
+        let shards = state.shards();
+        let graph = JobGraph::from_spec(job);
+
+        // Level 1: global admission over the cached per-shard aggregates.
+        let total = shards.n_shards();
+        let admitted: Vec<usize> =
+            (0..total).filter(|&s| shards.has_capacity(s, n)).collect();
+        shards.note_admission(total as u64, (total - admitted.len()) as u64);
+
+        // Level 2: shard-scoped candidates and class evaluation, memoized
+        // across decisions. A shard whose `(epoch, version)` pair is
+        // unchanged since the last decision for this job class replays its
+        // stored candidates/outcomes/u_max in O(1) — only shards the
+        // intervening events actually touched are re-walked. The per-shard
+        // u_max folds compose under `f64::max` exactly as the reference's
+        // flat candidate-order fold (max is associative; NEG_INFINITY is
+        // its identity), so the selection floor comes out identical.
+        let mut evaluated: Vec<std::sync::Arc<ShardClassed>> = Vec::new();
+        let mut u_max = f64::NEG_INFINITY;
+        for &s in &admitted {
+            let cache = caches.map(|cs| &cs[s % cs.len()]);
+            let memoized = cache.and_then(|c| {
+                c.shard_classed_get(s, shards.epoch(), shards.version(s), job, self.weights)
+            });
+            let entry = match memoized {
+                Some(entry) => {
+                    #[cfg(debug_assertions)]
+                    debug_assert_shard_memo_matches(state, job, &graph, self.weights, s, n, params, &entry);
+                    entry
+                }
+                None => {
+                    let candidates: Vec<MachineId> = shards
+                        .machines(s)
+                        .iter()
+                        .copied()
+                        .filter(|&m| state.free_count(m) >= n)
+                        .collect();
+                    let classed = evaluate_topo_classes(
+                        state,
+                        job,
+                        &graph,
+                        self.weights,
+                        &candidates,
+                        params,
+                        cache,
+                    );
+                    let mut shard_u_max = f64::NEG_INFINITY;
+                    for &c in &classed.class_of {
+                        if let CandidateOutcome::Feasible { utility, .. } = classed.outcomes[c]
+                        {
+                            shard_u_max = shard_u_max.max(utility);
+                        }
+                    }
+                    let entry = std::sync::Arc::new(ShardClassed {
+                        candidates,
+                        classed,
+                        u_max: shard_u_max,
+                    });
+                    if let Some(c) = cache {
+                        c.shard_classed_put(
+                            s,
+                            shards.epoch(),
+                            shards.version(s),
+                            job,
+                            self.weights,
+                            std::sync::Arc::clone(&entry),
+                        );
+                    }
+                    entry
+                }
+            };
+            if entry.candidates.is_empty() {
+                continue;
+            }
+            u_max = u_max.max(entry.u_max);
+            evaluated.push(entry);
+        }
+        if evaluated.is_empty() {
+            // No machine anywhere can host the job single-node — same spill
+            // fallthrough as the flat path's empty-candidates case.
+            if !job.constraints.single_node {
+                return self.decide_spilled(state, job);
+            }
+            return None;
+        }
+
+        // The reference select_candidate scan, streamed over class-outcome
+        // references in flat candidate order.
+        let (floor, gate) = selection_floor_gate(u_max, job.min_utility);
+        let mut best: Option<(f64, f64, MachineId, &[GpuId])> = None;
+        for entry in &evaluated {
+            for (&machine, &c) in entry.candidates.iter().zip(&entry.classed.class_of) {
+                let CandidateOutcome::Feasible { gpus, utility, frag_after } =
+                    &entry.classed.outcomes[c]
+                else {
+                    continue;
+                };
+                if skip_candidate(*utility, floor, gate) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bu, bf, _, _)) => beats_winner(*frag_after, *utility, bf, bu),
+                };
+                if better {
+                    best = Some((*utility, *frag_after, machine, gpus));
+                }
+            }
+        }
+        best.map(|(utility, _, machine, gpus)| Decision {
+            gpus: on_machine(machine, gpus),
+            utility,
+        })
     }
 
     /// Spills a multi-node-capable job across machines when no single
@@ -401,9 +584,10 @@ impl Policy {
                         (StateOracle::new(state, m, job).interference_one(&[g]), m, g)
                     })
                     .collect();
-                scored.sort_by(|a, b| {
-                    b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1))
-                });
+                // total_cmp, not partial_cmp().expect(): a NaN interference
+                // score (however a profile produced it) must degrade to a
+                // deterministic order, not panic mid-decision.
+                scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
                 hosts = scored.into_iter().map(|(_, m, g)| (m, g)).collect();
             }
         }
@@ -446,36 +630,105 @@ impl Policy {
 /// preferring a machine for a sub-percent utility edge is noise-chasing.
 const FRAG_TIE_EPS: f64 = 0.01;
 
+/// Debug check behind every shard-memo hit: rebuild the candidate list and
+/// re-run the class evaluation against the live state, then assert the memo
+/// replays exactly those bits — the shadow-recompute discipline
+/// (DESIGN.md §9) applied to the cross-decision shard memo. A failure here
+/// means some mutation path changed eval-relevant state without rebuilding
+/// the touched machine's class key (and thereby bumping the shard version).
+#[cfg(debug_assertions)]
+#[allow(clippy::too_many_arguments)]
+fn debug_assert_shard_memo_matches(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    shard: usize,
+    n: usize,
+    params: EvalParams,
+    entry: &ShardClassed,
+) {
+    let candidates: Vec<MachineId> = state
+        .shards()
+        .machines(shard)
+        .iter()
+        .copied()
+        .filter(|&m| state.free_count(m) >= n)
+        .collect();
+    let fresh = evaluate_topo_classes(state, job, graph, weights, &candidates, params, None);
+    assert_eq!(entry.candidates, candidates, "shard {shard} memo: stale candidate set");
+    assert_eq!(
+        entry.classed.class_of, fresh.class_of,
+        "shard {shard} memo: stale class grouping"
+    );
+    assert_eq!(entry.classed.outcomes, fresh.outcomes, "shard {shard} memo: stale outcomes");
+    let mut want_u_max = f64::NEG_INFINITY;
+    for &c in &fresh.class_of {
+        if let CandidateOutcome::Feasible { utility, .. } = fresh.outcomes[c] {
+            want_u_max = want_u_max.max(utility);
+        }
+    }
+    assert_eq!(
+        entry.u_max.to_bits(),
+        want_u_max.to_bits(),
+        "shard {shard} memo: stale u_max fold"
+    );
+}
+
+/// The selection thresholds derived from the best feasible utility: the
+/// near-tie `floor` and the SLO `gate`. Only gate on the SLO when the best
+/// candidate clears it; otherwise the job is getting a violation either way
+/// and pure utility should rule.
+fn selection_floor_gate(u_max: f64, min_utility: f64) -> (f64, f64) {
+    let floor = u_max - FRAG_TIE_EPS;
+    let gate = if u_max + 1e-9 >= min_utility {
+        min_utility
+    } else {
+        f64::NEG_INFINITY
+    };
+    (floor, gate)
+}
+
+/// Whether a feasible candidate drops out of the selection scan: outside
+/// the near-tie band of the best utility, or below the (active) SLO gate.
+fn skip_candidate(utility: f64, floor: f64, gate: f64) -> bool {
+    utility + 1e-12 < floor || utility + 1e-9 < gate
+}
+
+/// Whether a surviving candidate displaces the current winner: strictly
+/// lower Eq. 5 fragmentation, or equal fragmentation with strictly higher
+/// utility (both to the same epsilon the flat scan has always used).
+fn beats_winner(frag: f64, utility: f64, best_frag: f64, best_utility: f64) -> bool {
+    frag + 1e-12 < best_frag
+        || ((frag - best_frag).abs() <= 1e-12 && utility > best_utility + 1e-12)
+}
+
 /// Picks the winning candidate among `(decision, frag_after, eval_idx)`
 /// triples: highest utility wins, but candidates within [`FRAG_TIE_EPS`] of
 /// the best are treated as a tie and resolved by the Eq. 5 fragmentation
 /// each machine would be left with — topping off a busy machine beats
 /// cracking open an idle one that a wide job will need. Tied candidates
 /// below `min_utility` never displace one that satisfies the SLO.
+///
+/// The sharded fast path streams this exact scan (same predicates via
+/// [`skip_candidate`]/[`beats_winner`], same order) over class-outcome
+/// references — keep the two in lockstep.
 fn select_candidate(feasible: &[(Decision, f64, usize)], min_utility: f64) -> Option<usize> {
     let u_max = feasible
         .iter()
         .map(|(d, _, _)| d.utility)
         .fold(f64::NEG_INFINITY, f64::max);
-    let floor = u_max - FRAG_TIE_EPS;
-    // Only gate on the SLO when the best candidate clears it; otherwise the
-    // job is getting a violation either way and pure utility should rule.
-    let gate = if u_max + 1e-9 >= min_utility {
-        min_utility
-    } else {
-        f64::NEG_INFINITY
-    };
+    let (floor, gate) = selection_floor_gate(u_max, min_utility);
     let mut winner: Option<usize> = None;
     for (i, (d, frag, _)) in feasible.iter().enumerate() {
-        if d.utility + 1e-12 < floor || d.utility + 1e-9 < gate {
+        if skip_candidate(d.utility, floor, gate) {
             continue;
         }
         let better = match winner {
             None => true,
             Some(w) => {
                 let (dw, fw, _) = &feasible[w];
-                *frag + 1e-12 < *fw
-                    || ((*frag - *fw).abs() <= 1e-12 && d.utility > dw.utility + 1e-12)
+                beats_winner(*frag, d.utility, *fw, dw.utility)
             }
         };
         if better {

@@ -97,9 +97,11 @@ pub enum CancelOutcome {
 pub struct Scheduler {
     policy: Policy,
     eval: EvalParams,
-    /// The cross-event placement cache, alive for the whole run. `None`
-    /// when disabled by config/knob.
-    eval_cache: Option<EvalCache>,
+    /// The cross-event placement caches, alive for the whole run — one per
+    /// shard of the cluster state, each with the full `GTS_EVAL_CACHE`
+    /// capacity (a single cache on unsharded states). `None` when disabled
+    /// by config/knob.
+    eval_cache: Option<Vec<EvalCache>>,
     state: ClusterState,
     queue: WaitQueue,
     stats: DecisionStats,
@@ -113,10 +115,13 @@ pub struct Scheduler {
 impl Scheduler {
     /// A scheduler over a fresh cluster state.
     pub fn new(state: ClusterState, config: SchedulerConfig) -> Self {
+        let eval_cache = config
+            .eval_cache
+            .then(|| EvalCache::from_env_per_shard(state.shards().n_shards()));
         Self {
             policy: config.policy,
             eval: config.eval,
-            eval_cache: config.eval_cache.then(EvalCache::from_env),
+            eval_cache,
             state,
             queue: WaitQueue::new(),
             stats: DecisionStats::new(),
@@ -128,9 +133,19 @@ impl Scheduler {
         }
     }
 
-    /// Counters of the cross-event cache, or `None` when it is disabled.
+    /// Counters of the cross-event cache (summed over the per-shard
+    /// caches), or `None` when it is disabled.
     pub fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
-        self.eval_cache.as_ref().map(EvalCache::stats)
+        self.eval_cache.as_ref().map(|caches| {
+            caches.iter().map(EvalCache::stats).fold(
+                EvalCacheStats::default(),
+                |acc, s| EvalCacheStats {
+                    hits: acc.hits + s.hits,
+                    misses: acc.misses + s.misses,
+                    evictions: acc.evictions + s.evictions,
+                },
+            )
+        })
     }
 
     /// Turns the decision-trace stream on or off. Off by default — tracing
@@ -268,15 +283,15 @@ impl Scheduler {
             let job = self.queue.pop().expect("queue checked non-empty");
 
             let started = Instant::now();
-            let cache = self.eval_cache.as_ref();
+            let caches = self.eval_cache.as_deref();
             let decision = if self.tracing {
                 let mut evals = Vec::new();
-                let d = self.policy.decide_traced_with_cache(
+                let d = self.policy.decide_traced_with_caches(
                     &self.state,
                     &job,
                     &mut evals,
                     self.eval,
-                    cache,
+                    caches,
                 );
                 if !evals.is_empty() {
                     self.trace.push(TraceEvent::Evaluated {
@@ -287,7 +302,7 @@ impl Scheduler {
                 }
                 d
             } else {
-                self.policy.decide_with_cache(&self.state, &job, self.eval, cache)
+                self.policy.decide_with_caches(&self.state, &job, self.eval, caches)
             };
             self.stats.record(started.elapsed());
 

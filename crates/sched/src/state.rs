@@ -7,6 +7,7 @@
 //! path. All placement policies operate on this state; the simulator and
 //! the prototype mutate it through `place`/`release`.
 
+use crate::shard::{ShardIndex, ShardSpec};
 use gts_job::{BatchClass, JobId, JobProfile, JobSpec, NnModel};
 use gts_perf::ProfileLibrary;
 use gts_topo::{ClusterTopology, GlobalGpuId, GpuId, MachineId, SocketId};
@@ -217,6 +218,10 @@ pub struct ClusterState {
     /// Per-socket bandwidth capacity, GB/s.
     bw_capacity_gbs: f64,
     running: HashMap<JobId, Allocation>,
+    /// The machine-partition shard index (DESIGN.md §10): immutable
+    /// partition, plus per-shard admission aggregates maintained O(1) per
+    /// GPU on every `place`/`release`/failure.
+    shards: ShardIndex,
 }
 
 impl ClusterState {
@@ -250,6 +255,11 @@ impl ClusterState {
             .map(|m| vec![0.0; cluster.machine(m).n_sockets()])
             .collect();
         let down = vec![false; cluster.n_machines()];
+        // Fresh state: every GPU free, so each machine contributes its full
+        // width to the shard aggregates.
+        let shards = ShardIndex::build(&cluster, ShardSpec::from_env(), |m| {
+            cluster.machine(m).n_gpus()
+        });
         let mut state = Self {
             cluster,
             profiles,
@@ -264,6 +274,7 @@ impl ClusterState {
             class_keys: Vec::new(),
             corunners: Vec::new(),
             running: HashMap::new(),
+            shards,
         };
         for m in state.cluster.machines() {
             let (corunners, key) = state.compute_machine_key(m);
@@ -316,6 +327,10 @@ impl ClusterState {
         let (corunners, key) = self.compute_machine_key(machine);
         self.corunners[machine.index()] = corunners;
         self.class_keys[machine.index()] = key;
+        // Every eval-relevant mutation funnels through this rebuild, so
+        // bumping here is what makes an unchanged (epoch, version) pair
+        // prove the shard memo entry still matches the live state.
+        self.shards.bump_version(machine);
     }
 
     /// The machine's precomputed equivalence-class key (DESIGN.md §7, §9).
@@ -343,9 +358,12 @@ impl ClusterState {
                 "cancel {machine}'s jobs before failing it"
             );
         }
+        let old_free = self.free_count(machine);
         self.down[machine.index()] = down;
-        // The key's free-mask component reads 0 while down; rebuild so the
-        // precomputed key tracks the transition in both directions.
+        // The key's free-mask component (and the shard aggregate's view of
+        // the machine's capacity) reads 0 while down; rebuild so both track
+        // the transition in both directions.
+        self.shards.update(machine, old_free, self.free_count(machine));
         self.rebuild_machine_key(machine);
     }
 
@@ -456,9 +474,9 @@ impl ClusterState {
         self.free_mask_bits(machine).count_ones() as usize
     }
 
-    /// Total free GPUs across the cluster.
+    /// Total free GPUs across the cluster — O(1) from the shard aggregates.
     pub fn total_free(&self) -> usize {
-        self.cluster.machines().map(|m| self.free_count(m)).sum()
+        self.shards.cluster_free()
     }
 
     /// True when at least one GPU is free anywhere ("availableResources(P)"
@@ -478,12 +496,40 @@ impl ClusterState {
     }
 
     /// Machines with at least `n` free GPUs, ascending id — the Algorithm 1
-    /// `filterHostsByConstraints` capacity filter.
+    /// `filterHostsByConstraints` capacity filter. Shards whose aggregates
+    /// prove no member is wide enough are skipped wholesale; because shards
+    /// are contiguous ascending id ranges, the output is identical to the
+    /// flat per-machine scan.
     pub fn machines_with_capacity(&self, n: usize) -> Vec<MachineId> {
-        self.cluster
-            .machines()
-            .filter(|&m| self.free_count(m) >= n)
-            .collect()
+        let mut out = Vec::new();
+        for s in 0..self.shards.n_shards() {
+            if !self.shards.has_capacity(s, n) {
+                continue;
+            }
+            out.extend(
+                self.shards
+                    .machines(s)
+                    .iter()
+                    .copied()
+                    .filter(|&m| self.free_count(m) >= n),
+            );
+        }
+        out
+    }
+
+    /// The shard index: partition, admission aggregates and counters
+    /// (DESIGN.md §10).
+    pub fn shards(&self) -> &ShardIndex {
+        &self.shards
+    }
+
+    /// Repartitions the cluster under `spec`, rebuilding the aggregates
+    /// from the current free counts. `ShardSpec::Count(1)` restores the
+    /// single-shard reference regardless of the `GTS_SHARDS` environment.
+    pub fn with_shards(mut self, spec: ShardSpec) -> Self {
+        let shards = ShardIndex::build(&self.cluster, spec, |m| self.free_count(m));
+        self.shards = shards;
+        self
     }
 
     /// Ids of the jobs holding at least one GPU on `machine`, in placement
@@ -540,10 +586,12 @@ impl ClusterState {
                 "{} is down; the scheduler must not place there",
                 g.machine
             );
+            let old_free = self.free_count(g.machine);
             let slot = &mut self.free[g.machine.index()][g.gpu.index()];
             assert!(*slot, "{g} is already allocated");
             *slot = false;
             self.free_mask[g.machine.index()] &= !(1u128 << g.gpu.index());
+            self.shards.update(g.machine, old_free, old_free - 1);
             let socket = self.cluster.machine(g.machine).socket_of(g.gpu).index();
             self.socket_free[g.machine.index()][socket] -= 1;
         }
@@ -583,8 +631,10 @@ impl ClusterState {
             .remove(&id)
             .unwrap_or_else(|| panic!("{id} is not running"));
         for &g in &alloc.gpus {
+            let old_free = self.free_count(g.machine);
             self.free[g.machine.index()][g.gpu.index()] = true;
             self.free_mask[g.machine.index()] |= 1u128 << g.gpu.index();
+            self.shards.update(g.machine, old_free, old_free + 1);
             let socket = self.cluster.machine(g.machine).socket_of(g.gpu).index();
             self.socket_free[g.machine.index()][socket] += 1;
         }
@@ -801,6 +851,11 @@ impl ClusterState {
                 ));
             }
         }
+        // 8: the shard index. Re-derive the admission aggregates (per-shard
+        // free-GPU histograms and totals) from the ground truth and check
+        // the partition's structural invariants; drift means a
+        // place/release/failure path skipped a `ShardIndex::update`.
+        self.shards.verify(&self.cluster, |m| self.free_count(m))?;
         Ok(())
     }
 

@@ -44,12 +44,42 @@ use gts_job::{BatchClass, JobId, JobSpec, NnModel};
 use gts_perf::ProfileLibrary;
 use gts_sched::{
     Allocation, CancelOutcome, ClusterState, EvalCache, EvalParams, PlacementOutcome, Policy,
-    Scheduler, SchedulerConfig, TraceEvent,
+    Scheduler, SchedulerConfig, ShardSpec, TraceEvent,
 };
 use gts_topo::{ClusterTopology, MachineId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
+
+/// A rejected [`SimConfig`] input, caught at construction time instead of
+/// panicking deep inside the event loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimConfigError {
+    /// A scripted failure/recovery schedule contains a NaN or infinite
+    /// timestamp. The event loop orders schedules by time, so a non-finite
+    /// entry has no well-defined position.
+    NonFiniteTime {
+        /// Which schedule the bad entry came from (`"failure"`/`"recovery"`).
+        schedule: &'static str,
+        /// Index of the offending entry in the caller's vector.
+        index: usize,
+        /// The rejected timestamp.
+        time_s: f64,
+    },
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFiniteTime { schedule, index, time_s } => write!(
+                f,
+                "{schedule} schedule entry {index} has non-finite time {time_s}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -91,6 +121,11 @@ pub struct SimConfig {
     /// on and off produce bit-identical [`SimResult`]s (modulo the
     /// [`TraceEvent::EvalCacheStats`] footer when tracing).
     pub eval_cache: bool,
+    /// Overrides the cluster-state shard count (`None` = `GTS_SHARDS` env
+    /// default, rack-aligned auto partition). `Some(1)` forces the
+    /// single-shard reference decision path; any count produces
+    /// bit-identical [`SimResult`]s.
+    pub shards: Option<usize>,
 }
 
 /// Reads `GTS_SIM_INCREMENTAL` (cached after the first read). The
@@ -120,6 +155,7 @@ impl SimConfig {
             eval: EvalParams::from_env(),
             incremental: incremental_default(),
             eval_cache: EvalCache::enabled_by_env(),
+            shards: None,
         }
     }
 
@@ -148,15 +184,67 @@ impl SimConfig {
         self
     }
 
-    /// Schedules machine failures.
-    pub fn with_machine_failures(mut self, failures: Vec<(f64, MachineId)>) -> Self {
+    /// Rejects non-finite timestamps in a failure/recovery schedule. The
+    /// event loop sorts and merges schedules by time, so a NaN or infinite
+    /// entry has no meaningful position — catch it here, at construction,
+    /// instead of panicking (or silently mis-sorting) mid-run.
+    fn validate_schedule(
+        schedule: &'static str,
+        entries: &[(f64, MachineId)],
+    ) -> Result<(), SimConfigError> {
+        for (index, &(time_s, _)) in entries.iter().enumerate() {
+            if !time_s.is_finite() {
+                return Err(SimConfigError::NonFiniteTime { schedule, index, time_s });
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedules machine failures, rejecting non-finite timestamps.
+    pub fn try_with_machine_failures(
+        mut self,
+        failures: Vec<(f64, MachineId)>,
+    ) -> Result<Self, SimConfigError> {
+        Self::validate_schedule("failure", &failures)?;
         self.machine_failures = failures;
-        self
+        Ok(self)
+    }
+
+    /// Schedules machine recoveries, rejecting non-finite timestamps.
+    pub fn try_with_machine_recoveries(
+        mut self,
+        recoveries: Vec<(f64, MachineId)>,
+    ) -> Result<Self, SimConfigError> {
+        Self::validate_schedule("recovery", &recoveries)?;
+        self.machine_recoveries = recoveries;
+        Ok(self)
+    }
+
+    /// Schedules machine failures.
+    ///
+    /// # Panics
+    /// On non-finite timestamps; use
+    /// [`try_with_machine_failures`](Self::try_with_machine_failures) to
+    /// handle the error instead.
+    pub fn with_machine_failures(self, failures: Vec<(f64, MachineId)>) -> Self {
+        self.try_with_machine_failures(failures)
+            .expect("failure schedule must use finite times")
     }
 
     /// Schedules machine recoveries.
-    pub fn with_machine_recoveries(mut self, recoveries: Vec<(f64, MachineId)>) -> Self {
-        self.machine_recoveries = recoveries;
+    ///
+    /// # Panics
+    /// On non-finite timestamps; use
+    /// [`try_with_machine_recoveries`](Self::try_with_machine_recoveries)
+    /// to handle the error instead.
+    pub fn with_machine_recoveries(self, recoveries: Vec<(f64, MachineId)>) -> Self {
+        self.try_with_machine_recoveries(recoveries)
+            .expect("recovery schedule must use finite times")
+    }
+
+    /// Overrides the shard count (`1` = single-shard reference path).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
         self
     }
 
@@ -201,6 +289,12 @@ pub struct SimLoopStats {
     pub eval_cache_misses: u64,
     /// Placement-cache entries displaced by LRU capacity pressure.
     pub eval_cache_evictions: u64,
+    /// Shards examined by the two-level admission pass (one count per
+    /// shard per topo-aware decision). 0 on the single-shard path.
+    pub shard_admission_checked: u64,
+    /// Shards the admission pass skipped outright — no machine in the
+    /// shard had enough free GPUs, so placement never scanned it.
+    pub shard_admission_skipped: u64,
 }
 
 impl SimLoopStats {
@@ -267,7 +361,10 @@ impl Simulation {
         profiles: Arc<ProfileLibrary>,
         config: SimConfig,
     ) -> Self {
-        let state = ClusterState::new(Arc::clone(&cluster), profiles);
+        let mut state = ClusterState::new(Arc::clone(&cluster), profiles);
+        if let Some(n) = config.shards {
+            state = state.with_shards(ShardSpec::Count(n));
+        }
         let mut scheduler = Scheduler::new(
             state,
             SchedulerConfig {
@@ -277,10 +374,14 @@ impl Simulation {
             },
         );
         scheduler.set_tracing(config.trace);
+        // Schedule times are validated finite at config construction;
+        // `total_cmp` keeps the sort a total order even for a config built
+        // by hand with literal NaNs (which then fail loudly in the loop's
+        // time comparisons rather than corrupting the sort).
         let mut pending_failures = config.machine_failures.clone();
-        pending_failures.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite failure times"));
+        pending_failures.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut pending_recoveries = config.machine_recoveries.clone();
-        pending_recoveries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite recovery times"));
+        pending_recoveries.sort_by(|a, b| a.0.total_cmp(&b.0));
         let n_machines = cluster.n_machines();
         let max_machine_gpus = cluster
             .machines()
@@ -324,12 +425,7 @@ impl Simulation {
     /// Runs a whole trace to completion, also returning the event-loop
     /// instrumentation counters (see [`SimLoopStats`]).
     pub fn run_with_stats(mut self, mut trace: Vec<JobSpec>) -> (SimResult, SimLoopStats) {
-        trace.sort_by(|a, b| {
-            a.arrival_s
-                .partial_cmp(&b.arrival_s)
-                .expect("finite arrivals")
-                .then(a.id.cmp(&b.id))
-        });
+        trace.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
         // Reject jobs that can never fit anywhere up front.
         for job in trace {
             if self.fits_somewhere(&job) {
@@ -417,6 +513,9 @@ impl Simulation {
                 });
             }
         }
+        let (checked, skipped) = self.scheduler.state().shards().admission_stats();
+        self.stats.shard_admission_checked = checked;
+        self.stats.shard_admission_skipped = skipped;
         let stats = std::mem::take(&mut self.stats);
         let result = SimResult {
             policy: self.config.policy.kind,
@@ -1198,6 +1297,76 @@ mod tests {
         for r in &res.records {
             assert!(r.restarts >= 1, "{} never restarted", r.spec.id);
         }
+    }
+
+    /// Non-finite schedule times must be rejected at construction with a
+    /// descriptive error, not discovered as a panic (or a silently corrupt
+    /// sort order) deep inside the event loop.
+    #[test]
+    fn non_finite_schedule_times_are_rejected_at_construction() {
+        let base = || SimConfig::new(Policy::new(PolicyKind::TopoAware));
+        let err = base()
+            .try_with_machine_failures(vec![(10.0, MachineId(0)), (f64::NAN, MachineId(1))])
+            .unwrap_err();
+        // NaN != NaN under the derived PartialEq, so match on shape and
+        // check the payload is the NaN we passed in.
+        let SimConfigError::NonFiniteTime { schedule, index, time_s } = &err;
+        assert_eq!((*schedule, *index), ("failure", 1));
+        assert!(time_s.is_nan());
+        assert!(err.to_string().contains("failure schedule entry 1"));
+        let err = base()
+            .try_with_machine_recoveries(vec![(f64::INFINITY, MachineId(0))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimConfigError::NonFiniteTime { schedule: "recovery", index: 0, .. }
+        ));
+        // Finite schedules still pass through both the fallible and the
+        // panicking builders.
+        let ok = base()
+            .try_with_machine_failures(vec![(10.0, MachineId(0))])
+            .unwrap()
+            .with_machine_recoveries(vec![(20.0, MachineId(0))]);
+        assert_eq!(ok.machine_failures.len(), 1);
+        assert_eq!(ok.machine_recoveries.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure schedule must use finite times")]
+    fn infallible_failure_builder_panics_on_nan() {
+        let _ = SimConfig::new(Policy::new(PolicyKind::TopoAware))
+            .with_machine_failures(vec![(f64::NAN, MachineId(0))]);
+    }
+
+    /// A sharded run must surface admission counters through
+    /// `SimLoopStats`, and a forced single-shard run must not count.
+    #[test]
+    fn shard_admission_counters_surface_in_stats() {
+        let run = |shards: usize| {
+            let machine = power8_minsky();
+            let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+            let cluster = Arc::new(ClusterTopology::homogeneous_racked(machine, 4, 2));
+            let trace: Vec<JobSpec> = (0..12)
+                .map(|i| job(i, [1u32, 2, 4][(i % 3) as usize], BatchClass::Tiny, i as f64, 60))
+                .collect();
+            Simulation::new(
+                cluster,
+                profiles,
+                SimConfig::new(Policy::new(PolicyKind::TopoAware))
+                    .with_eval(EvalParams::parallel(2))
+                    .with_shards(shards),
+            )
+            .run_with_stats(trace)
+        };
+        let (sharded_res, sharded) = run(4);
+        let (single_res, single) = run(1);
+        assert!(sharded.shard_admission_checked > 0, "sharded path never ran");
+        assert_eq!(single.shard_admission_checked, 0);
+        assert_eq!(single.shard_admission_skipped, 0);
+        // And the shard count is invisible in the results themselves.
+        assert_eq!(sharded_res.records, single_res.records);
+        assert_eq!(sharded_res.events, single_res.events);
+        assert_eq!(sharded_res.makespan_s.to_bits(), single_res.makespan_s.to_bits());
     }
 
     /// The admission pre-pass must reject oversized jobs with the cached

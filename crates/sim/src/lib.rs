@@ -29,7 +29,7 @@ pub mod metrics;
 pub mod runtime;
 
 pub use bandwidth::{bandwidth_series, MachineBandwidthSeries};
-pub use engine::{SimConfig, SimLoopStats, Simulation};
+pub use engine::{SimConfig, SimConfigError, SimLoopStats, Simulation};
 pub use ideal::ideal_duration_s;
 pub use metrics::{JobRecord, SimEvent, SimResult, TimelineSegment};
 pub use runtime::RunningJob;

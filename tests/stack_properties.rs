@@ -299,6 +299,70 @@ fn eval_cache_is_bit_identical_to_uncached_runs() {
     }
 }
 
+/// One simulation on a rack-partitioned cluster with an explicit shard
+/// count. Untraced on purpose: the sharded two-level decision path only
+/// engages when tracing is off (traced runs always take the flat reference
+/// path), so a traced comparison would be trivially identical. Even seeds
+/// script a failure/recovery cycle so shard aggregates survive
+/// `fail_machine`/`recover_machine`; seeds divisible by 3 add execution
+/// jitter so arrival interleavings vary per seed.
+fn simulate_with_shards(
+    seed: u64,
+    n_racks: usize,
+    kind: PolicyKind,
+    shards: usize,
+) -> SimResult {
+    let machine = power8_minsky();
+    let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
+    let cluster = Arc::new(ClusterTopology::homogeneous_racked(machine, n_racks, 2));
+    let trace = WorkloadGenerator::with_defaults(seed).generate(24);
+    let mut config = SimConfig::new(Policy::new(kind))
+        .with_eval(EvalParams::parallel(4))
+        .with_shards(shards);
+    if seed.is_multiple_of(2) {
+        config = config
+            .with_machine_failures(vec![(50.0, MachineId(1))])
+            .with_machine_recoveries(vec![(400.0, MachineId(1))]);
+    }
+    if seed.is_multiple_of(3) {
+        config = config.with_jitter(0.08, seed.wrapping_mul(0x9E37_79B9) + 1);
+    }
+    Simulation::new(cluster, profiles, config).run(trace)
+}
+
+/// The sharded two-level scheduler (per-rack admission aggregates + shard-
+/// local placement) must be bit-identical to the single-shard reference:
+/// same records, same events, same metrics, for every policy across many
+/// seeds, including machine-failure and jitter runs. (`mean_decision_s` is
+/// wall-clock and legitimately differs.)
+#[test]
+fn sharded_scheduler_is_bit_identical_to_single_shard() {
+    for kind in PolicyKind::ALL {
+        for seed in 0..8u64 {
+            let n_racks = 2 + (seed as usize % 3);
+            let single = simulate_with_shards(seed, n_racks, kind, 1);
+            let sharded = simulate_with_shards(seed, n_racks, kind, n_racks);
+            let ctx = format!("{kind:?} seed {seed} ({n_racks} racks)");
+            assert_eq!(single.policy, sharded.policy, "{ctx}: policy");
+            assert_eq!(single.records, sharded.records, "{ctx}: records");
+            assert_eq!(single.unplaceable, sharded.unplaceable, "{ctx}: unplaceable");
+            assert_eq!(single.timeline, sharded.timeline, "{ctx}: timeline");
+            assert_eq!(single.utility_series, sharded.utility_series, "{ctx}: utility series");
+            assert_eq!(
+                single.makespan_s.to_bits(),
+                sharded.makespan_s.to_bits(),
+                "{ctx}: makespan {} vs {}",
+                single.makespan_s,
+                sharded.makespan_s
+            );
+            assert_eq!(single.slo_violations, sharded.slo_violations, "{ctx}: SLO violations");
+            assert_eq!(single.failures, sharded.failures, "{ctx}: failures");
+            assert_eq!(single.events, sharded.events, "{ctx}: events");
+            assert_eq!(single.trace, sharded.trace, "{ctx}: decision trace");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
