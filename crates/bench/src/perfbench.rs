@@ -297,19 +297,28 @@ pub fn run(smoke: bool) -> BenchReport {
         loop_stats.eval_cache_hits as f64 / lookups as f64
     };
 
-    // 5. The datacenter-scale pair: the sharded two-level scheduler vs the
-    // single-shard reference on a rack-partitioned cluster under a
-    // sustained Poisson stream dense enough to keep the cluster saturated.
-    // Timed once with `Instant` (a criterion warmup would double a
-    // minutes-long run for no variance benefit); the decision/* entries
-    // carry `SimResult::mean_decision_s` — per-decision scheduler latency,
-    // the quantity the shard admission pass is supposed to keep flat —
-    // rather than wall time.
+    // 5. The datacenter-scale trio: the single-shard reference, the serial
+    // sharded two-level scheduler (shard fan-out and bound pruning pinned
+    // off — the PR 6 A/B baseline) and the parallel+pruned shard path, on
+    // a rack-partitioned cluster under a sustained Poisson stream dense
+    // enough to keep the cluster saturated. Each variant runs SAMPLES
+    // independent sims (distinct Poisson seeds over the same regime) and
+    // the entries carry the mean/min across them, so the derived speedups
+    // average over warm decision distributions instead of trusting one
+    // run. The decision/* entries carry `SimResult::mean_decision_s` —
+    // per-decision scheduler latency, the quantity the two-level path is
+    // supposed to keep flat — rather than wall time.
+    const HUGE_SAMPLES: usize = 5;
     let (huge_racks, huge_per_rack, huge_jobs) = if smoke { (8, 4, 256) } else { (128, 32, 50_000) };
+    let huge_machines = huge_racks * huge_per_rack;
     let (huge_cluster, huge_profiles) = racked_minsky_cluster(huge_racks, huge_per_rack);
-    let huge_trace = poisson_trace(huge_racks * huge_per_rack, huge_jobs, 3003);
-    let single = sharded_sim(&huge_cluster, &huge_profiles, &huge_trace, 1);
-    let sharded = sharded_sim(&huge_cluster, &huge_profiles, &huge_trace, huge_racks);
+    let huge_traces: Vec<Vec<JobSpec>> = (0..HUGE_SAMPLES)
+        .map(|i| {
+            poisson_trace(huge_machines, (huge_jobs / HUGE_SAMPLES).max(1), 3003 + i as u64)
+        })
+        .collect();
+    let serial_eval = EvalParams::from_env().with_shard_par(false).with_shard_bound(false);
+    let par_eval = EvalParams::from_env().with_shard_par(true).with_shard_bound(true);
 
     let mut results: Vec<BenchEntry> = c
         .take_records()
@@ -323,21 +332,34 @@ pub fn run(smoke: bool) -> BenchReport {
             samples: r.samples as u64,
         })
         .collect();
-    for (label, wall_ns, decision_ns) in [
-        ("sim/huge_single", single.0, single.1),
-        ("sim/huge_sharded", sharded.0, sharded.1),
+    for (label, shards, eval) in [
+        ("huge_single", 1, serial_eval),
+        ("huge_sharded", huge_racks, serial_eval),
+        ("huge_par", huge_racks, par_eval),
     ] {
+        let runs: Vec<(u64, u64)> = huge_traces
+            .iter()
+            .map(|t| sharded_sim(&huge_cluster, &huge_profiles, t, shards, eval))
+            .collect();
+        let stat = |pick: fn(&(u64, u64)) -> u64| {
+            let vals: Vec<u64> = runs.iter().map(pick).collect();
+            let mean = vals.iter().sum::<u64>() / vals.len() as u64;
+            let min = *vals.iter().min().expect("at least one run");
+            (mean, min)
+        };
+        let (wall_mean, wall_min) = stat(|r| r.0);
+        let (dec_mean, dec_min) = stat(|r| r.1);
         results.push(BenchEntry {
-            label: label.to_string(),
-            mean_ns: wall_ns,
-            min_ns: wall_ns,
-            samples: 1,
+            label: format!("sim/{label}"),
+            mean_ns: wall_mean,
+            min_ns: wall_min,
+            samples: runs.len() as u64,
         });
         results.push(BenchEntry {
-            label: label.replace("sim/", "decision/"),
-            mean_ns: decision_ns,
-            min_ns: decision_ns,
-            samples: 1,
+            label: format!("decision/{label}"),
+            mean_ns: dec_mean,
+            min_ns: dec_min,
+            samples: runs.len() as u64,
         });
     }
     results.sort_by(|a, b| a.label.cmp(&b.label));
@@ -397,16 +419,17 @@ fn poisson_trace(n_machines: usize, n_jobs: usize, seed: u64) -> Vec<JobSpec> {
     WorkloadGenerator::new(gen, seed).generate(n_jobs)
 }
 
-/// One full simulation with an explicit shard count, returning
-/// `(wall_ns, mean_decision_ns)`.
+/// One full simulation with an explicit shard count and evaluation
+/// parameters, returning `(wall_ns, mean_decision_ns)`.
 fn sharded_sim(
     cluster: &Arc<ClusterTopology>,
     profiles: &Arc<ProfileLibrary>,
     trace: &[JobSpec],
     shards: usize,
+    eval: EvalParams,
 ) -> (u64, u64) {
     let config = SimConfig::new(Policy::new(PolicyKind::TopoAware))
-        .with_eval(EvalParams::from_env())
+        .with_eval(eval)
         .with_incremental(true)
         .with_eval_cache(true)
         .with_shards(shards);
@@ -427,7 +450,7 @@ pub fn scale_curve(smoke: bool) -> Vec<ScalePoint> {
     let (sizes, per_rack, jobs_per_machine): (&[usize], usize, usize) = if smoke {
         (&[16, 32, 64], 4, 4)
     } else {
-        (&[256, 1024, 4096], 32, 6)
+        (&[256, 1024, 4096, 10_240], 32, 6)
     };
     sizes
         .iter()
@@ -437,7 +460,7 @@ pub fn scale_curve(smoke: bool) -> Vec<ScalePoint> {
             let jobs = machines * jobs_per_machine;
             let trace = poisson_trace(machines, jobs, 3003);
             let (wall_ns, mean_decision_ns) =
-                sharded_sim(&cluster, &profiles, &trace, n_racks);
+                sharded_sim(&cluster, &profiles, &trace, n_racks, EvalParams::from_env());
             ScalePoint {
                 machines: machines as u64,
                 shards: n_racks as u64,
@@ -471,13 +494,22 @@ mod tests {
             "sim/large_cached",
             "sim/huge_single",
             "sim/huge_sharded",
+            "sim/huge_par",
             "decision/huge_single",
             "decision/huge_sharded",
+            "decision/huge_par",
         ] {
             assert!(
                 report.mean_ns(label).is_some_and(|ns| ns > 0),
                 "missing or empty bench {label}"
             );
+        }
+        // The huge decision latencies feed huge_decision_speedup — they
+        // must aggregate several independent runs, not trust one sample.
+        for label in ["decision/huge_single", "decision/huge_sharded", "decision/huge_par"] {
+            let entry = report.results.iter().find(|e| e.label == label).unwrap();
+            assert!(entry.samples >= 5, "{label} ran {} samples, need ≥ 5", entry.samples);
+            assert!(entry.min_ns <= entry.mean_ns, "{label} min above mean");
         }
         assert!(report.arrival_speedup > 0.0);
         assert!(report.sim_loop_speedup > 0.0);

@@ -1,0 +1,281 @@
+//! Admissible per-shard utility upper bound for branch-and-bound pruning.
+//!
+//! The two-level sharded decision path ([`crate::Policy`]) evaluates every
+//! admitted shard even though the selection window only keeps candidates
+//! within `FRAG_TIE_EPS` of the best utility. This module computes, from
+//! the [`crate::ShardIndex`] aggregates alone (free/idle histograms, static
+//! class sets and geometry — all maintained O(1) per mutation), an upper
+//! bound on the utility any candidate inside a shard can reach for the job
+//! at hand. A shard whose bound falls below the floor established by
+//! already-known results is provably irrelevant: none of its candidates
+//! could enter the selection window or move `u_max`, so skipping it is
+//! *exact*, not approximate (DESIGN.md §11).
+//!
+//! Admissibility argument (per Eq. 2 component, each bounded by a value
+//! computed through the *same* float operations as the real evaluation, so
+//! the dominance holds in IEEE arithmetic, not just over the reals):
+//!
+//! - `u_cc ≤ 1` by construction (`u_cc_from_costs` clamps; non-communicating
+//!   jobs score exactly 1).
+//! - `u_b` (Eq. 4): an idle machine has no co-runners, so `u_b = 1` is
+//!   achievable and bounds the bucket. An occupied machine with `k` free
+//!   GPUs hosts between 1 and `W_s − k` co-runner jobs (each holds ≥ 1 GPU;
+//!   `W_s` is the shard's widest machine). Every real Eq. 4 term is
+//!   dominated by the synthetic term built from the *library-wide minimum*
+//!   sensitivity/pressure at the weakest domain factor (0.35, same machine
+//!   across sockets): suffered slowdowns only grow with real coefficients,
+//!   caused slowdowns only grow likewise, and `x ↦ 1/(1+min(x,0.75))` is
+//!   antitone. Taking the prefix maximum over co-runner counts `1..=c`
+//!   makes the table monotone in the count bound.
+//! - `u_d` (Eq. 5 proxy): `n` GPUs on a machine whose widest socket holds
+//!   `max_socket` GPUs must span at least `ceil(n / max_socket)` sockets
+//!   (pigeonhole), and `u_domains_from_span` is antitone in the span.
+//!
+//! The composed bound runs through [`gts_map::utility()`] itself with the
+//! same weights, preserving the op-for-op float dominance end to end. Debug
+//! builds shadow-evaluate every pruned shard and assert the bound held
+//! (`Policy::decide_topo_sharded`).
+
+use crate::shard::ShardIndex;
+use crate::state::ClusterState;
+use gts_job::{BatchClass, JobProfile, JobSpec, NnModel};
+use gts_map::{UtilityComponents, UtilityWeights};
+use gts_perf::calibration::DOMAIN_SAME_MACHINE;
+
+/// Per-decision context for the shard utility bound: everything that
+/// depends on the job and the profile library, precomputed once so each
+/// shard's bound is an O(histogram width) fold over the aggregates.
+pub struct ShardBoundCtx {
+    /// GPUs the job requests.
+    n: usize,
+    weights: UtilityWeights,
+    /// `ub_occ_max[c]` — upper bound on Eq. 4 for a placement on an
+    /// occupied machine hosting between 1 and `c` co-runner jobs (prefix
+    /// max of the synthetic weakest-co-runner Eq. 4; index 0 unused).
+    ub_occ_max: Vec<f64>,
+    /// Per topology class: pigeonhole upper bound on `u_domains` for an
+    /// `n`-GPU placement on a machine of that class.
+    ud_by_class: Vec<f64>,
+}
+
+impl ShardBoundCtx {
+    /// Builds the bound context for placing `job` on `state`'s cluster.
+    ///
+    /// Cost: one pass over the (closed, 12-entry) profile library, one
+    /// Eq. 4 evaluation per possible co-runner count, one
+    /// `u_domains_from_span` per machine class — microseconds, amortized
+    /// over every memo-miss shard of the decision.
+    pub fn new(state: &ClusterState, job: &JobSpec, weights: UtilityWeights) -> Self {
+        let shards = state.shards();
+        let profiles = state.profiles();
+        let cand = *profiles.get(job.model, job.batch);
+        // The profile library is closed: every running job's profile is one
+        // of the |models| × |batches| entries, so the library minima bound
+        // any co-runner's coefficients without consulting the running set.
+        let mut s_min = f64::INFINITY;
+        let mut p_min = f64::INFINITY;
+        for model in NnModel::ALL {
+            for batch in BatchClass::ALL {
+                let p = profiles.get(model, batch);
+                s_min = s_min.min(p.sensitivity);
+                p_min = p_min.min(p.pressure);
+            }
+        }
+        let weak = JobProfile { sensitivity: s_min, pressure: p_min, ..cand };
+        let w_max = (0..shards.n_shards()).map(|s| shards.max_width(s)).max().unwrap_or(0);
+        let mut ub_occ_max = vec![1.0; w_max + 1];
+        let mut pack: Vec<(JobProfile, f64)> = Vec::with_capacity(w_max);
+        let mut best = f64::NEG_INFINITY;
+        for slot in ub_occ_max.iter_mut().skip(1) {
+            pack.push((weak, DOMAIN_SAME_MACHINE));
+            best = best.max(cand.eq4_interference(&pack));
+            *slot = best;
+        }
+        let n = job.n_gpus as usize;
+        let ud_by_class: Vec<f64> = shards
+            .class_geom()
+            .iter()
+            .map(|&(n_sockets, max_socket)| {
+                if max_socket == 0 {
+                    // Class with no GPUs — can never host a candidate.
+                    1.0
+                } else {
+                    let span = n.div_ceil(max_socket as usize).clamp(1, (n_sockets as usize).max(1));
+                    UtilityComponents::u_domains_from_span(span, n_sockets as usize)
+                }
+            })
+            .collect();
+        Self { n, weights, ub_occ_max, ud_by_class }
+    }
+
+    /// The admissible utility upper bound for `shard`: no candidate machine
+    /// in the shard can yield a placement utility above this value.
+    /// Returns `NEG_INFINITY` when no machine in the shard has capacity
+    /// (admission should already have filtered such shards out).
+    pub fn shard_bound(&self, shards: &ShardIndex, shard: usize) -> f64 {
+        let hist = shards.hist(shard);
+        let idle = shards.idle_hist(shard);
+        let w_s = shards.max_width(shard);
+        let mut ub_b = f64::NEG_INFINITY;
+        for k in self.n..hist.len() {
+            if idle[k] > 0 {
+                // An idle machine wide enough for the job: zero co-runners,
+                // Eq. 4 is exactly 1 — nothing can beat that.
+                ub_b = 1.0;
+                break;
+            }
+            if hist[k] > 0 {
+                // Occupied machines with k free GPUs host 1..=W_s−k jobs
+                // (k == W_s would force the machine idle, so the subtraction
+                // stays ≥ 1; the clamp is defensive).
+                let c_max = w_s.saturating_sub(k).clamp(1, self.ub_occ_max.len() - 1);
+                ub_b = ub_b.max(self.ub_occ_max[c_max]);
+            }
+        }
+        if ub_b == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        let mut ud = f64::NEG_INFINITY;
+        for &class in shards.classes_in(shard) {
+            ud = ud.max(self.ud_by_class[class as usize]);
+        }
+        // Same composition op order as the real evaluation — dominance
+        // survives float rounding (see module docs).
+        gts_map::utility(
+            UtilityComponents { u_cc: 1.0, u_interference: ub_b, u_domains: ud },
+            self.weights,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::placement_utility;
+    use crate::shard::ShardSpec;
+    use gts_perf::ProfileLibrary;
+    use gts_topo::{power8_minsky, ClusterTopology, GlobalGpuId, GpuId, MachineId};
+    use std::sync::Arc;
+
+    fn state(n_machines: usize, shards: usize) -> ClusterState {
+        let machine = power8_minsky();
+        let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+        let cluster = Arc::new(ClusterTopology::homogeneous(machine, n_machines));
+        ClusterState::new(cluster, profiles).with_shards(ShardSpec::Count(shards))
+    }
+
+    fn spec(id: u64, gpus: u32) -> JobSpec {
+        JobSpec::new(id, gts_job::NnModel::AlexNet, gts_job::BatchClass::Tiny, gpus)
+    }
+
+    fn g(m: u32, gpu: u32) -> GlobalGpuId {
+        GlobalGpuId { machine: MachineId(m), gpu: GpuId(gpu) }
+    }
+
+    #[test]
+    fn idle_shard_bound_is_exactly_one_for_single_gpu_jobs() {
+        // Fresh cluster: every machine idle. A 1-GPU job fits in one socket
+        // (span 1 → u_d = 1), has no co-runners (u_b = 1) and u_cc = 1, so
+        // the bound must be utility(1,1,1) = 1 exactly with default weights.
+        let s = state(4, 2);
+        let ctx = ShardBoundCtx::new(&s, &spec(0, 1), UtilityWeights::default());
+        for shard in 0..s.shards().n_shards() {
+            assert_eq!(ctx.shard_bound(s.shards(), shard), 1.0);
+        }
+    }
+
+    #[test]
+    fn idle_shard_bound_reflects_pigeonhole_socket_span() {
+        // A minsky has 2 sockets × 2 GPUs: a 3-GPU placement must span both
+        // sockets, so u_d = 0 even on an idle machine. The bound must be
+        // exactly w_cc·1 + w_b·1 + w_d·0 = 2/3 with default weights — i.e.
+        // the pigeonhole argument tightens the bound below 1.
+        let s = state(2, 1);
+        let w = UtilityWeights::default();
+        let ctx = ShardBoundCtx::new(&s, &spec(0, 3), w);
+        let expected = gts_map::utility(
+            UtilityComponents { u_cc: 1.0, u_interference: 1.0, u_domains: 0.0 },
+            w,
+        );
+        assert_eq!(ctx.shard_bound(s.shards(), 0), expected);
+        assert!(expected < 0.7);
+    }
+
+    #[test]
+    fn occupied_shard_bound_drops_below_idle_and_dominates_real_utilities() {
+        // Shard 0 = machine 0 (occupied by a co-runner), shard 1 = machine 1
+        // (idle). The occupied shard's bound must fall strictly below the
+        // idle bound for an interference-sensitive job, yet still dominate
+        // the true utility of every concrete placement inside the shard —
+        // the admissibility contract the pruner relies on.
+        let mut s = state(2, 2);
+        s.place(spec(0, 1), vec![g(0, 0)], 1.0);
+        let job = spec(1, 1);
+        let w = UtilityWeights::default();
+        let ctx = ShardBoundCtx::new(&s, &job, w);
+        let occupied = ctx.shard_bound(s.shards(), 0);
+        let idle = ctx.shard_bound(s.shards(), 1);
+        assert_eq!(idle, 1.0);
+        assert!(occupied < idle, "occupied bound {occupied} should be < idle bound {idle}");
+        for gpu in 1..4 {
+            let u = placement_utility(&s, MachineId(0), &job, &[GpuId(gpu)], w);
+            assert!(
+                u <= occupied,
+                "placement on gpu {gpu} scored {u}, above the bound {occupied}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_admissible_across_mutations_and_corunner_mixes() {
+        // Brute-force admissibility: after every mutation (place, multi-node
+        // place, release, failure, recovery) and for every library profile,
+        // every single-GPU placement utility stays ≤ its shard's bound, and
+        // the audit's bound-state check (check 9) stays green.
+        let mut s = state(4, 2);
+        s.place(spec(0, 2), vec![g(0, 0), g(0, 1)], 1.0);
+        s.place(spec(1, 3), vec![g(1, 0), g(1, 1), g(2, 3)], 0.8);
+        s.set_machine_down(MachineId(3), true);
+        s.audit().unwrap();
+
+        let check = |s: &ClusterState| {
+            for model in gts_job::NnModel::ALL {
+                for batch in gts_job::BatchClass::ALL {
+                    let job = JobSpec::new(99, model, batch, 1);
+                    let ctx = ShardBoundCtx::new(s, &job, UtilityWeights::default());
+                    for shard in 0..s.shards().n_shards() {
+                        let bound = ctx.shard_bound(s.shards(), shard);
+                        for &m in s.shards().machines(shard) {
+                            if s.is_machine_down(m) {
+                                continue;
+                            }
+                            for gpu in s.free_gpus(m) {
+                                let u = placement_utility(
+                                    s,
+                                    m,
+                                    &job,
+                                    &[gpu],
+                                    UtilityWeights::default(),
+                                );
+                                assert!(
+                                    u <= bound,
+                                    "{model:?}/{batch:?} on {m:?} scored {u} > bound {bound}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        check(&s);
+
+        s.set_machine_down(MachineId(3), false);
+        s.release(gts_job::JobId(1));
+        s.audit().unwrap();
+        check(&s);
+
+        s.release(gts_job::JobId(0));
+        s.audit().unwrap();
+        check(&s);
+    }
+}

@@ -53,18 +53,26 @@ pub struct EvalParams {
     /// reference path: every candidate is evaluated in order with no
     /// memoization, exactly as the pre-engine scheduler did.
     pub threads: usize,
+    /// Fan memo-miss shards out across the worker pool as one batch
+    /// (`GTS_SHARD_PAR`, default on). Off selects the serial shard loop —
+    /// the PR 6 reference path. Results are bit-identical either way.
+    pub shard_par: bool,
+    /// Prune memo-miss shards whose admissible utility bound proves them
+    /// uncompetitive (`GTS_SHARD_BOUND`, default on). Exact
+    /// branch-and-bound: results are bit-identical either way.
+    pub shard_bound: bool,
 }
 
 impl EvalParams {
     /// The sequential reference: candidates evaluated one by one, no
     /// memoization, no worker pool.
     pub fn sequential() -> Self {
-        Self { threads: 1 }
+        Self { threads: 1, shard_par: shard_par_env(), shard_bound: shard_bound_env() }
     }
 
     /// The engine with an explicit worker count (`≥ 2`; clamped up).
     pub fn parallel(threads: usize) -> Self {
-        Self { threads: threads.max(2) }
+        Self { threads: threads.max(2), shard_par: shard_par_env(), shard_bound: shard_bound_env() }
     }
 
     /// Reads `GTS_EVAL_THREADS` (cached after the first read). Unset or
@@ -82,13 +90,43 @@ impl EvalParams {
                 Err(_) => default_threads(),
             }
         });
-        Self { threads }
+        Self { threads, shard_par: shard_par_env(), shard_bound: shard_bound_env() }
     }
 
     /// True when this selects the sequential reference path.
     pub fn is_sequential(&self) -> bool {
         self.threads <= 1
     }
+
+    /// Overrides the shard fan-out knob (for in-process A/B testing).
+    pub fn with_shard_par(mut self, on: bool) -> Self {
+        self.shard_par = on;
+        self
+    }
+
+    /// Overrides the shard bound-pruning knob (for in-process A/B testing).
+    pub fn with_shard_bound(mut self, on: bool) -> Self {
+        self.shard_bound = on;
+        self
+    }
+}
+
+/// `GTS_SHARD_PAR` (cached): `0`/`off`/`false` disable the parallel shard
+/// fan-out; anything else (including unset) leaves it on.
+fn shard_par_env() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| parse_on_by_default(std::env::var("GTS_SHARD_PAR").ok().as_deref()))
+}
+
+/// `GTS_SHARD_BOUND` (cached): `0`/`off`/`false` disable bound pruning;
+/// anything else (including unset) leaves it on.
+fn shard_bound_env() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| parse_on_by_default(std::env::var("GTS_SHARD_BOUND").ok().as_deref()))
+}
+
+fn parse_on_by_default(raw: Option<&str>) -> bool {
+    !matches!(raw.map(str::trim), Some("0" | "off" | "false"))
 }
 
 impl Default for EvalParams {
@@ -132,7 +170,7 @@ pub(crate) enum CandidateOutcome {
 /// only there share entries. Jobs carrying an explicit `comm_graph` are not
 /// keyable (the graph is arbitrary) and bypass the cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct JobClassKey {
+pub(crate) struct JobClassKey {
     model: NnModel,
     batch: BatchClass,
     n_gpus: u32,
@@ -143,7 +181,7 @@ struct JobClassKey {
 impl JobClassKey {
     /// The job's class, or `None` when the job is not cacheable (explicit
     /// communication graph).
-    fn of(job: &JobSpec, weights: UtilityWeights) -> Option<Self> {
+    pub(crate) fn of(job: &JobSpec, weights: UtilityWeights) -> Option<Self> {
         if job.comm_graph.is_some() {
             return None;
         }
@@ -155,24 +193,50 @@ impl JobClassKey {
             weight_bits: [weights.cc.to_bits(), weights.b.to_bits(), weights.d.to_bits()],
         })
     }
+
+    /// The class's FNV-1a fingerprint, hoisted by callers so building one
+    /// [`CacheKey`] per machine class costs a mix, not a re-hash.
+    pub(crate) fn bits(&self) -> u64 {
+        let mut h = FnvHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// A cross-event cache key: machine equivalence class × job class. Both
 /// halves are pure functions of (state, job-class) — machine ids, job ids
 /// and clock values never enter — so an entry can only be *cold*, never
 /// *stale* (DESIGN.md §9).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The 64-bit `bits` mix is carried inside the key and is all [`Hash`]
+/// ever writes: the machine half's hash is precomputed by `ClusterState`
+/// and the job half's once per evaluation call ([`JobClassKey::bits`]),
+/// so probing the cache never re-hashes key payloads. Equal keys produce
+/// equal mixes by construction, keeping `Eq`/`Hash` consistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct CacheKey {
     machine: MachineClassKey,
     job: JobClassKey,
+    bits: u64,
 }
 
 impl CacheKey {
+    /// Builds a key around the precomputed halves: `job_bits` must be
+    /// `job.bits()` (hoisted out of per-class probe loops by callers).
+    fn new(machine: MachineClassKey, job: JobClassKey, job_bits: u64) -> Self {
+        let bits = machine.hash_bits().rotate_left(32) ^ job_bits;
+        Self { machine, job, bits }
+    }
+
     /// 64-bit hash used for both shard selection and the per-shard map.
     fn hash_bits(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.hash(&mut h);
-        h.finish()
+        self.bits
+    }
+}
+
+impl Hash for CacheKey {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        h.write_u64(self.bits);
     }
 }
 
@@ -236,7 +300,7 @@ const NIL: usize = usize::MAX;
 /// doubly-linked LRU list (`head` = most recent, `tail` = eviction
 /// victim). All operations are O(1).
 struct Shard {
-    map: HashMap<CacheKey, usize>,
+    map: HashMap<CacheKey, usize, std::hash::BuildHasherDefault<FnvHasher>>,
     slab: Vec<Entry>,
     head: usize,
     tail: usize,
@@ -252,7 +316,7 @@ struct Entry {
 
 impl Shard {
     fn new(capacity: usize) -> Self {
-        Self { map: HashMap::new(), slab: Vec::new(), head: NIL, tail: NIL, capacity }
+        Self { map: HashMap::default(), slab: Vec::new(), head: NIL, tail: NIL, capacity }
     }
 
     fn unlink(&mut self, i: usize) {
@@ -329,7 +393,7 @@ pub struct EvalCache {
     /// Cross-decision memo of whole-shard evaluations for the two-level
     /// sharded path, keyed by (state shard, job class) and guarded by the
     /// shard index's `(epoch, version)` pair — see [`ShardClassed`].
-    shard_memo: Mutex<HashMap<ShardMemoKey, ShardMemoEntry>>,
+    shard_memo: Mutex<ShardMemoMap>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -347,34 +411,84 @@ pub struct EvalCache {
 /// same purity argument that keeps [`EvalCache`] entries from going stale,
 /// DESIGN.md §9–§10). An unchanged pair therefore pins both the candidate
 /// set (free masks are key components) and every class outcome.
+#[derive(Default)]
 pub(crate) struct ShardClassed {
     /// Shard members with `free_count >= job.n_gpus`, ascending id.
     pub candidates: Vec<MachineId>,
+    /// Each candidate's class-key rebuild stamp
+    /// ([`ClusterState::key_stamp`]) at evaluation time, aligned with
+    /// `candidates`. A stale entry (version moved on) is *repaired*
+    /// instead of rebuilt: a candidate whose stored stamp still equals
+    /// its live stamp provably kept its class key — the key only changes
+    /// through the stamp-bumping rebuild — and the key is a pure function
+    /// of machine state, so the stored outcome bits are its live outcome
+    /// bits. A plain `u64` compare per candidate, no `Arc` traffic.
+    pub stamps: Vec<u64>,
     /// Class grouping + one outcome per class, aligned with `candidates`.
     pub classed: ClassedOutcomes,
     /// `max` fold of the feasible utilities in candidate order
     /// (`NEG_INFINITY` when none are feasible).
     pub u_max: f64,
+    /// Indices into `candidates` (ascending) of the only candidates that
+    /// can ever win a selection scan: those whose feasible utility is
+    /// within `FRAG_TIE_EPS` of this shard's own `u_max`, keeping just the
+    /// head of each consecutive same-class run. The global floor is
+    /// `u_global_max − FRAG_TIE_EPS ≥ u_max − FRAG_TIE_EPS` (float
+    /// subtraction of a constant is monotone), so every below-window
+    /// candidate provably fails the scan's floor test; a run repeat
+    /// carries its head's exact `(utility, frag)` bits, on which
+    /// `beats_winner` is always false — the scan walks this (typically
+    /// tiny) window instead of the whole shard.
+    pub contenders: Vec<u32>,
 }
 
-/// Memo key: which state shard, for which job class. `JobClassKey` already
-/// carries `n_gpus`, so the capacity filter baked into `candidates` is
-/// part of the key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct ShardMemoKey {
-    shard: usize,
-    job: JobClassKey,
+/// One state shard's memo slot for one job class: the `(epoch, version)`
+/// pair the stored whole-shard evaluation was built under. `value: None`
+/// means never filled (or wiped by a cap clear / shard-count change).
+#[derive(Default)]
+pub(crate) struct ShardSlot {
+    pub epoch: u64,
+    pub version: u64,
+    pub value: Option<Arc<ShardClassed>>,
 }
 
-struct ShardMemoEntry {
-    epoch: u64,
-    version: u64,
-    value: Arc<ShardClassed>,
+/// FNV-1a for the scheduler-internal hash maps (the shard memo and the
+/// per-shard LRU maps). Their keys are hashed on the per-decision hot
+/// path, where the default SipHash's DoS resistance buys nothing (keys
+/// are small, fixed-shape and entirely trusted) but costs a measurable
+/// slice of steady-state decision latency.
+pub(crate) struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
 }
 
-/// Safety valve on distinct (shard, job class) keys per cache. Each cache
-/// normally serves one state shard, and real traces carry a few dozen job
-/// classes, so this is far above steady state.
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// The shard memo, inverted: one row of per-shard slots per job class.
+/// A decision probes every admitted shard with the *same* job class, so
+/// this layout pays one lock and one key hash per decision and then a
+/// plain indexed version compare per shard, instead of a keyed map probe
+/// (lock + hash + equality) per shard.
+type ShardMemoMap =
+    HashMap<JobClassKey, Box<[ShardSlot]>, std::hash::BuildHasherDefault<FnvHasher>>;
+
+/// Safety valve on distinct job-class rows in the memo. Real traces carry
+/// a few dozen job classes, so this is far above steady state.
 const SHARD_MEMO_CAP: usize = 512;
 
 impl std::fmt::Debug for EvalCache {
@@ -390,51 +504,34 @@ impl EvalCache {
         let per_shard = capacity.div_ceil(N_SHARDS).max(1);
         Self {
             shards: (0..N_SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
-            shard_memo: Mutex::new(HashMap::new()),
+            shard_memo: Mutex::new(ShardMemoMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up the memoized whole-shard evaluation for (`shard`, `job`) —
-    /// a hit requires the stored `(epoch, version)` pair to match the live
-    /// shard index exactly. `None` for uncacheable jobs (explicit comm
-    /// graph) or stale/absent entries.
-    pub(crate) fn shard_classed_get(
+    /// Runs `f` over the per-shard memo slot row for `job`, creating (or
+    /// re-sizing) the row on first touch — one lock and one key hash per
+    /// call no matter how many shards the caller then reads or writes.
+    /// Past [`SHARD_MEMO_CAP`] distinct job classes the memo is cleared
+    /// wholesale; a row whose length disagrees with `n_shards` (the shard
+    /// layout changed, which also advances the epoch) is reset empty.
+    pub(crate) fn with_shard_slots<R>(
         &self,
-        shard: usize,
-        epoch: u64,
-        version: u64,
-        job: &JobSpec,
-        weights: UtilityWeights,
-    ) -> Option<Arc<ShardClassed>> {
-        let job = JobClassKey::of(job, weights)?;
-        let memo = self.shard_memo.lock().expect("shard memo poisoned");
-        let entry = memo.get(&ShardMemoKey { shard, job })?;
-        (entry.epoch == epoch && entry.version == version).then(|| Arc::clone(&entry.value))
-    }
-
-    /// Stores a whole-shard evaluation under the shard index's current
-    /// `(epoch, version)`. Overwrites any older entry for the same key;
-    /// clears the memo wholesale past [`SHARD_MEMO_CAP`] distinct keys.
-    pub(crate) fn shard_classed_put(
-        &self,
-        shard: usize,
-        epoch: u64,
-        version: u64,
-        job: &JobSpec,
-        weights: UtilityWeights,
-        value: Arc<ShardClassed>,
-    ) {
-        let Some(job) = JobClassKey::of(job, weights) else {
-            return;
-        };
+        job: &JobClassKey,
+        n_shards: usize,
+        f: impl FnOnce(&mut [ShardSlot]) -> R,
+    ) -> R {
         let mut memo = self.shard_memo.lock().expect("shard memo poisoned");
-        if memo.len() >= SHARD_MEMO_CAP {
-            memo.clear();
+        if memo.get(job).is_none_or(|row| row.len() != n_shards) {
+            if memo.len() >= SHARD_MEMO_CAP {
+                memo.clear();
+            }
+            let row: Box<[ShardSlot]> = (0..n_shards).map(|_| ShardSlot::default()).collect();
+            memo.insert(job.clone(), row);
         }
-        memo.insert(ShardMemoKey { shard, job }, ShardMemoEntry { epoch, version, value });
+        f(memo.get_mut(job).expect("row ensured above"))
     }
 
     /// A cache sized by `GTS_EVAL_CACHE` (default capacity when the knob
@@ -520,6 +617,39 @@ fn evaluate_one(
     CandidateOutcome::Feasible { gpus, utility, frag_after }
 }
 
+/// Resolves one candidate machine's outcome the way a fresh
+/// [`evaluate_topo_classes`] pass would: served from the cross-event cache
+/// when the `(machine class, job class)` pair is known, otherwise the full
+/// evaluation runs and fills the cache. The shard-repair path calls this
+/// for exactly the machines whose class key changed since the memoized
+/// pass; `job_bits` must be `job_class.bits()`, hoisted by the caller.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resolve_candidate_outcome(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    machine: MachineId,
+    key: &MachineClassKey,
+    job_class: Option<&JobClassKey>,
+    job_bits: u64,
+    cache: Option<&EvalCache>,
+) -> CandidateOutcome {
+    if let (Some(cache), Some(jc)) = (cache, job_class) {
+        let k = CacheKey::new(key.clone(), jc.clone(), job_bits);
+        if let Some(hit) = cache.get(&k) {
+            #[cfg(debug_assertions)]
+            debug_assert_hit_matches(state, job, graph, weights, machine, &hit);
+            return hit;
+        }
+        let outcome = evaluate_one(state, job, graph, weights, machine);
+        cache.insert(k, outcome.clone());
+        outcome
+    } else {
+        evaluate_one(state, job, graph, weights, machine)
+    }
+}
+
 /// Debug check behind every cache hit: re-run the full evaluation and
 /// assert the cached bits are exactly what a miss would have produced —
 /// the PR 4 shadow-recompute discipline applied to the cross-event cache.
@@ -590,6 +720,7 @@ pub(crate) fn evaluate_topo_candidates(
 /// two-level sharded decision path consumes this form directly, streaming
 /// the selection scan over by-reference class outcomes instead of cloning
 /// one outcome per candidate machine.
+#[derive(Default)]
 pub(crate) struct ClassedOutcomes {
     /// Per candidate (input order): index into `outcomes`.
     pub class_of: Vec<usize>,
@@ -640,8 +771,9 @@ pub(crate) fn evaluate_topo_classes(
     let mut rep_outcomes: Vec<Option<CandidateOutcome>> = vec![None; reps.len()];
     let mut pending: Vec<usize> = Vec::new();
     if let (Some(cache), Some(jc)) = (cache, &job_class) {
+        let job_bits = jc.bits();
         for (i, key) in rep_keys.iter().enumerate() {
-            match cache.get(&CacheKey { machine: key.clone(), job: jc.clone() }) {
+            match cache.get(&CacheKey::new(key.clone(), jc.clone(), job_bits)) {
                 Some(hit) => {
                     #[cfg(debug_assertions)]
                     debug_assert_hit_matches(state, job, graph, weights, reps[i], &hit);
@@ -669,7 +801,7 @@ pub(crate) fn evaluate_topo_classes(
     for (&i, outcome) in pending.iter().zip(fresh) {
         if let (Some(cache), Some(jc)) = (cache, &job_class) {
             cache.insert(
-                CacheKey { machine: rep_keys[i].clone(), job: jc.clone() },
+                CacheKey::new(rep_keys[i].clone(), jc.clone(), jc.bits()),
                 outcome.clone(),
             );
         }
@@ -683,6 +815,7 @@ pub(crate) fn evaluate_topo_classes(
             .collect(),
     }
 }
+
 
 /// Runs `f(0)..f(n-1)` on a scoped pool of up to `threads` workers,
 /// returning results in index order regardless of thread interleaving.
@@ -1003,35 +1136,44 @@ mod tests {
             EvalParams::sequential(),
             None,
         );
-        let entry = Arc::new(ShardClassed { candidates, classed, u_max: 0.75 });
-        assert!(
-            cache.shard_classed_get(0, 7, 3, &j, weights).is_none(),
-            "empty memo has no entry"
-        );
-        cache.shard_classed_put(0, 7, 3, &j, weights, Arc::clone(&entry));
-        let hit = cache.shard_classed_get(0, 7, 3, &j, weights).expect("exact pair hits");
-        assert_eq!(hit.candidates, entry.candidates);
-        assert_eq!(hit.u_max.to_bits(), entry.u_max.to_bits());
-        assert!(
-            cache.shard_classed_get(0, 7, 4, &j, weights).is_none(),
-            "a bumped version invalidates"
-        );
-        assert!(
-            cache.shard_classed_get(0, 8, 3, &j, weights).is_none(),
-            "another index's epoch never aliases"
-        );
-        assert!(
-            cache.shard_classed_get(1, 7, 3, &j, weights).is_none(),
-            "entries are per state-shard"
-        );
-        assert!(
-            cache.shard_classed_get(0, 7, 3, &job(1, 3), weights).is_none(),
-            "a different job class misses"
-        );
-        // Uncacheable jobs (explicit comm graph) bypass the memo entirely.
+        let stamps: Vec<u64> = candidates.iter().map(|&m| s.key_stamp(m)).collect();
+        let entry = Arc::new(ShardClassed {
+            candidates,
+            stamps,
+            classed,
+            u_max: 0.75,
+            contenders: vec![0],
+        });
+        let key = JobClassKey::of(&j, weights).expect("plain job is keyable");
+        cache.with_shard_slots(&key, 2, |slots| {
+            assert_eq!(slots.len(), 2, "row sized to the shard count");
+            assert!(slots[0].value.is_none(), "empty memo has no entry");
+            slots[0] = ShardSlot { epoch: 7, version: 3, value: Some(Arc::clone(&entry)) };
+        });
+        cache.with_shard_slots(&key, 2, |slots| {
+            let hit = &slots[0];
+            assert_eq!((hit.epoch, hit.version), (7, 3), "guard pair round-trips");
+            let v = hit.value.as_ref().expect("filled slot persists");
+            assert!(Arc::ptr_eq(v, &entry), "the stored Arc itself comes back");
+            assert_eq!(v.u_max.to_bits(), entry.u_max.to_bits());
+            assert_eq!(v.contenders, entry.contenders);
+            assert!(slots[1].value.is_none(), "entries are per state-shard");
+        });
+        let other = JobClassKey::of(&job(1, 3), weights).expect("keyable");
+        cache.with_shard_slots(&other, 2, |slots| {
+            assert!(slots[0].value.is_none(), "a different job class has its own row");
+        });
+        cache.with_shard_slots(&key, 3, |slots| {
+            assert_eq!(slots.len(), 3);
+            assert!(
+                slots.iter().all(|s| s.value.is_none()),
+                "a shard-count change resets the row"
+            );
+        });
+        // Uncacheable jobs (explicit comm graph) have no class key, so the
+        // caller can never reach the memo for them.
         let mut exotic = job(2, 2);
         exotic.comm_graph = Some(JobGraph::uniform(2, 1.0));
-        cache.shard_classed_put(0, 7, 3, &exotic, weights, entry);
-        assert!(cache.shard_classed_get(0, 7, 3, &exotic, weights).is_none());
+        assert!(JobClassKey::of(&exotic, weights).is_none());
     }
 }

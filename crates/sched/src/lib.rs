@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bound;
 pub mod enforcement;
 pub mod eval;
 pub mod oracle;
@@ -33,6 +34,7 @@ pub mod spill;
 pub mod state;
 pub mod trace;
 
+pub use bound::ShardBoundCtx;
 pub use enforcement::{launch_plan, LaunchPlan};
 pub use eval::{EvalCache, EvalCacheStats, EvalParams};
 pub use oracle::StateOracle;

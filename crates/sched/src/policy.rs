@@ -13,18 +13,25 @@
 //!   variant additionally *postpones* jobs whose best utility falls below
 //!   their `min_utility` SLO.
 
+use crate::bound::ShardBoundCtx;
 use crate::eval::{
-    evaluate_topo_candidates, evaluate_topo_classes, CandidateOutcome, EvalCache, EvalParams,
-    ShardClassed,
+    evaluate_topo_candidates, evaluate_topo_classes, resolve_candidate_outcome, run_indexed,
+    CandidateOutcome, ClassedOutcomes, EvalCache, EvalParams, JobClassKey, ShardClassed,
+    ShardSlot,
 };
 use crate::oracle::{placement_components, placement_utility, StateOracle};
+use crate::shard::ShardIndex;
 use crate::state::{on_machine, ClusterState};
 use crate::trace::{CandidateEval, EvalOutcome};
-use gts_job::{JobGraph, JobSpec};
+use gts_job::{BatchClass, JobGraph, JobSpec, NnModel};
 use gts_map::UtilityWeights;
 use gts_topo::{GlobalGpuId, GpuId, MachineId};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 /// Which placement strategy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -396,13 +403,26 @@ impl Policy {
     /// 1. **Admission** — consult every shard's aggregates and drop shards
     ///    with no machine wide enough for the job (O(shards), counters on
     ///    the shard index record the skip rate);
-    /// 2. **Shard-local placement** — enumerate candidates shard by shard
-    ///    (contiguous ascending ranges, so the concatenation reproduces the
-    ///    flat candidate order exactly), evaluate per-shard equivalence
-    ///    classes against that shard's [`EvalCache`], and stream the
-    ///    reference `select_candidate` scan over the by-reference class
-    ///    outcomes — identical comparisons in identical order, but without
-    ///    materializing a `Decision` per feasible candidate.
+    /// 2. **Memo replay** — shards whose `(epoch, version)` pair is
+    ///    unchanged since the last decision for this job class replay their
+    ///    stored candidates/outcomes/u_max in O(1), establishing the
+    ///    branch-and-bound floor without touching a machine;
+    /// 3. **Bound pruning** (`GTS_SHARD_BOUND`) — the remaining memo-miss
+    ///    shards are sorted by descending admissible utility bound
+    ///    ([`ShardBoundCtx`]); any shard whose bound proves it cannot enter
+    ///    the selection window is skipped outright. Exact, not heuristic:
+    ///    see [`bound_prunes`] and DESIGN.md §11 (debug builds
+    ///    shadow-evaluate every pruned shard and assert the bound held);
+    /// 4. **Fan-out** (`GTS_SHARD_PAR`) — surviving miss shards are
+    ///    evaluated as *one* batch across the worker pool, one task per
+    ///    shard, results written into index slots keyed by admitted-shard
+    ///    position. Memo puts happen after the join, on the caller's
+    ///    thread, in deterministic order;
+    /// 5. **Selection** — the reference `select_candidate` scan streams
+    ///    over the class outcomes in ascending shard order (contiguous
+    ///    ascending ranges concatenate to the flat candidate order), with
+    ///    whole entries skipped when even their `u_max` fails the window —
+    ///    identical comparisons in identical order either way.
     ///
     /// Only the winning candidate's GPUs are cloned into the returned
     /// [`Decision`], which is bit-identical to the flat path's.
@@ -417,95 +437,291 @@ impl Policy {
         let shards = state.shards();
         let graph = JobGraph::from_spec(job);
 
-        // Level 1: global admission over the cached per-shard aggregates.
-        let total = shards.n_shards();
-        let admitted: Vec<usize> =
-            (0..total).filter(|&s| shards.has_capacity(s, n)).collect();
-        shards.note_admission(total as u64, (total - admitted.len()) as u64);
+        ADMITTED_SCRATCH.with(|cell| {
+            // Level 1: global admission over the cached per-shard
+            // aggregates, into the reusable per-thread scratch.
+            let mut admitted = cell.borrow_mut();
+            let admitted = &mut *admitted;
+            let total = shards.n_shards();
+            admitted.clear();
+            admitted.extend((0..total).filter(|&s| shards.has_capacity(s, n)));
+            shards.note_admission(total as u64, (total - admitted.len()) as u64);
 
-        // Level 2: shard-scoped candidates and class evaluation, memoized
-        // across decisions. A shard whose `(epoch, version)` pair is
-        // unchanged since the last decision for this job class replays its
-        // stored candidates/outcomes/u_max in O(1) — only shards the
-        // intervening events actually touched are re-walked. The per-shard
-        // u_max folds compose under `f64::max` exactly as the reference's
-        // flat candidate-order fold (max is associative; NEG_INFINITY is
-        // its identity), so the selection floor comes out identical.
-        let mut evaluated: Vec<std::sync::Arc<ShardClassed>> = Vec::new();
-        let mut u_max = f64::NEG_INFINITY;
-        for &s in &admitted {
-            let cache = caches.map(|cs| &cs[s % cs.len()]);
-            let memoized = cache.and_then(|c| {
-                c.shard_classed_get(s, shards.epoch(), shards.version(s), job, self.weights)
-            });
-            let entry = match memoized {
-                Some(entry) => {
-                    #[cfg(debug_assertions)]
-                    debug_assert_shard_memo_matches(state, job, &graph, self.weights, s, n, params, &entry);
-                    entry
-                }
-                None => {
-                    let candidates: Vec<MachineId> = shards
-                        .machines(s)
-                        .iter()
-                        .copied()
-                        .filter(|&m| state.free_count(m) >= n)
-                        .collect();
-                    let classed = evaluate_topo_classes(
-                        state,
-                        job,
-                        &graph,
-                        self.weights,
-                        &candidates,
-                        params,
-                        cache,
-                    );
-                    let mut shard_u_max = f64::NEG_INFINITY;
-                    for &c in &classed.class_of {
-                        if let CandidateOutcome::Feasible { utility, .. } = classed.outcomes[c]
-                        {
-                            shard_u_max = shard_u_max.max(utility);
+            // Level 2a: memo replay. The per-shard u_max folds compose
+            // under `f64::max` exactly as the reference's flat
+            // candidate-order fold (max is associative; NEG_INFINITY is its
+            // identity), so the selection floor comes out identical. The
+            // replayed maxima double as the pruning floor for the misses.
+            // Hits are only *marked* here — the selection scan reads them
+            // in place under the same lock later, so a decision's dozens of
+            // replays cost zero `Arc` clone/drop pairs.
+            let mut hit: Vec<bool> = vec![false; admitted.len()];
+            let mut misses: Vec<usize> = Vec::new();
+            // Out-of-date memo entries for the misses: a changed shard
+            // usually changed on one or two machines, so its old entry
+            // seeds a repair ([`repair_shard`]) instead of a from-scratch
+            // evaluation. Indexed like `hit`.
+            let mut stale: Vec<Option<Arc<ShardClassed>>> = vec![None; admitted.len()];
+            let mut u_floor = f64::NEG_INFINITY;
+            // One key, one memo lock and one row probe for the whole
+            // decision; each admitted shard then costs a plain indexed
+            // `(epoch, version)` compare against its slot.
+            let job_key = JobClassKey::of(job, self.weights);
+            if let (Some(cs), Some(k)) = (caches, job_key.as_ref()) {
+                cs[0].with_shard_slots(k, shards.n_shards(), |slots| {
+                    for (i, &s) in admitted.iter().enumerate() {
+                        let slot = &slots[s];
+                        match &slot.value {
+                            Some(v)
+                                if slot.epoch == shards.epoch()
+                                    && slot.version == shards.version(s) =>
+                            {
+                                u_floor = u_floor.max(v.u_max);
+                                hit[i] = true;
+                            }
+                            Some(v) => {
+                                stale[i] = Some(Arc::clone(v));
+                                misses.push(i);
+                            }
+                            None => misses.push(i),
                         }
                     }
-                    let entry = std::sync::Arc::new(ShardClassed {
-                        candidates,
-                        classed,
-                        u_max: shard_u_max,
-                    });
-                    if let Some(c) = cache {
-                        c.shard_classed_put(
-                            s,
-                            shards.epoch(),
-                            shards.version(s),
-                            job,
-                            self.weights,
-                            std::sync::Arc::clone(&entry),
+                });
+            } else {
+                misses.extend(0..admitted.len());
+            }
+
+            // Level 2b: bound-prune and evaluate the misses. `fresh`
+            // collects `(admitted index, entry)` so memo puts and slot
+            // assignment stay on the caller's thread in deterministic
+            // order regardless of how the evaluations ran.
+            let use_par = params.shard_par && params.threads > 1;
+            let mut fresh: Vec<(usize, Arc<ShardClassed>)> = Vec::with_capacity(misses.len());
+            let mut pruned: Vec<(usize, f64)> = Vec::new();
+            if !misses.is_empty() {
+                if params.shard_bound {
+                    let ctx = cached_bound_ctx(state, job, self.weights, shards.epoch());
+                    let mut bounded: Vec<(usize, f64)> = misses
+                        .iter()
+                        .map(|&i| (i, ctx.shard_bound(shards, admitted[i])))
+                        .collect();
+                    // Best bound first so the serial loop tightens its
+                    // floor as early as possible; ties break on ascending
+                    // shard position to stay deterministic.
+                    bounded.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                    if use_par {
+                        // The floor is static across the batch (the memo
+                        // replays), so pruning partitions up front and the
+                        // survivors fan out together.
+                        let (survivors, cut): (Vec<_>, Vec<_>) = bounded
+                            .into_iter()
+                            .partition(|&(_, b)| !bound_prunes(b, u_floor, job.min_utility));
+                        pruned = cut;
+                        fresh = eval_shard_batch(
+                            state, job, &graph, self.weights, shards, admitted, &survivors,
+                            n, params, caches, job_key.as_ref(), &stale,
                         );
+                    } else {
+                        // Serial branch-and-bound: every evaluated shard
+                        // raises the floor for the ones still queued.
+                        let mut u_so_far = u_floor;
+                        for (i, bound) in bounded {
+                            if bound_prunes(bound, u_so_far, job.min_utility) {
+                                pruned.push((i, bound));
+                                continue;
+                            }
+                            let s = admitted[i];
+                            let entry = eval_or_repair(
+                                state, job, &graph, self.weights, shards, s, n, params,
+                                caches.map(|cs| &cs[s % cs.len()]),
+                                job_key.as_ref(),
+                                stale[i].as_ref(),
+                            );
+                            u_so_far = u_so_far.max(entry.u_max);
+                            fresh.push((i, entry));
+                        }
                     }
-                    entry
+                    shards.note_bound(misses.len() as u64, pruned.len() as u64);
+                } else if use_par {
+                    let all: Vec<(usize, f64)> = misses.iter().map(|&i| (i, 0.0)).collect();
+                    fresh = eval_shard_batch(
+                        state, job, &graph, self.weights, shards, admitted, &all, n, params,
+                        caches, job_key.as_ref(), &stale,
+                    );
+                } else {
+                    // The PR 6 serial reference loop, ascending shards.
+                    for &i in &misses {
+                        let s = admitted[i];
+                        let entry = eval_or_repair(
+                            state, job, &graph, self.weights, shards, s, n, params,
+                            caches.map(|cs| &cs[s % cs.len()]),
+                            job_key.as_ref(),
+                            stale[i].as_ref(),
+                        );
+                        fresh.push((i, entry));
+                    }
                 }
+            }
+
+            // Publish the fresh entries and run the fold + selection scan
+            // in one lock scope, reading replayed hits in place — ascending
+            // shard order throughout, exactly the flat scan's visit order.
+            let mut retired: Vec<Arc<ShardClassed>> = Vec::with_capacity(fresh.len());
+            let decision = if let (Some(cs), Some(k)) = (caches, job_key.as_ref()) {
+                cs[0].with_shard_slots(k, shards.n_shards(), |slots| {
+                    for (i, entry) in &fresh {
+                        let s = admitted[*i];
+                        let prev = std::mem::replace(
+                            &mut slots[s],
+                            ShardSlot {
+                                epoch: shards.epoch(),
+                                version: shards.version(s),
+                                value: Some(Arc::clone(entry)),
+                            },
+                        );
+                        if let Some(old) = prev.value {
+                            retired.push(old);
+                        }
+                        hit[*i] = true;
+                    }
+                    #[cfg(debug_assertions)]
+                    for (i, &s) in admitted.iter().enumerate() {
+                        if hit[i] {
+                            let entry =
+                                slots[s].value.as_deref().expect("hit slots hold entries");
+                            debug_assert_shard_memo_matches(
+                                state, job, &graph, self.weights, s, n, params, entry,
+                            );
+                        }
+                    }
+                    let entries: Vec<&ShardClassed> = admitted
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| hit[i])
+                        .map(|(_, &s)| {
+                            slots[s].value.as_deref().expect("hit slots hold entries")
+                        })
+                        .collect();
+                    self.finish_sharded(state, job, &graph, n, params, admitted, &entries, &pruned)
+                })
+            } else {
+                // No memo available: every admitted shard was freshly
+                // evaluated — reassemble in ascending shard order.
+                let mut by_i: Vec<Option<&Arc<ShardClassed>>> = vec![None; admitted.len()];
+                for (i, entry) in &fresh {
+                    by_i[*i] = Some(entry);
+                }
+                let entries: Vec<&ShardClassed> =
+                    by_i.iter().filter_map(|e| e.map(Arc::as_ref)).collect();
+                self.finish_sharded(state, job, &graph, n, params, admitted, &entries, &pruned)
             };
-            if entry.candidates.is_empty() {
+            // Reclaim the retired entries' buffers for the next decision's
+            // repairs. `stale` held the repairs' borrows of these — with it
+            // gone, a genuinely replaced entry is sole-owned here and
+            // unwraps; a fast-path re-register (old == new) stays shared
+            // and is simply dropped.
+            drop(stale);
+            if !retired.is_empty() {
+                ENTRY_POOL.with(|p| {
+                    let mut pool = p.borrow_mut();
+                    for a in retired {
+                        if pool.len() >= ENTRY_POOL_CAP {
+                            break;
+                        }
+                        if let Ok(e) = Arc::try_unwrap(a) {
+                            pool.push(e);
+                        }
+                    }
+                });
+            }
+            decision
+        })
+    }
+
+    /// The tail of the two-level decision: fold the selection floor over
+    /// the per-shard entries (ascending shard order), fall through to the
+    /// spill path when no shard holds a candidate, debug-check the pruned
+    /// shards against the final window, and stream the reference
+    /// [`select_candidate`] scan over each entry's contender window.
+    ///
+    /// Entries arrive as plain references so the memoized path can lend
+    /// them straight out of the locked slot row — replay costs no `Arc`
+    /// traffic — while the memo-less path lends its freshly built ones.
+    #[allow(clippy::too_many_arguments)]
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    fn finish_sharded(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        graph: &JobGraph,
+        n: usize,
+        params: EvalParams,
+        admitted: &[usize],
+        entries: &[&ShardClassed],
+        pruned: &[(usize, f64)],
+    ) -> Option<Decision> {
+        // Fold the floor in ascending shard order (the entries are
+        // already ascending; no reassembly copy needed).
+        let mut u_max = f64::NEG_INFINITY;
+        let mut any_candidates = false;
+        for e in entries {
+            if e.candidates.is_empty() {
                 continue;
             }
-            u_max = u_max.max(entry.u_max);
-            evaluated.push(entry);
+            any_candidates = true;
+            u_max = u_max.max(e.u_max);
         }
-        if evaluated.is_empty() {
-            // No machine anywhere can host the job single-node — same spill
-            // fallthrough as the flat path's empty-candidates case.
+        if !any_candidates {
+            // No machine anywhere can host the job single-node — same
+            // spill fallthrough as the flat path's empty-candidates
+            // case. Pruning can never land here: a prune requires a
+            // floor above the (nonnegative) bound, and any finite floor
+            // came from an entry with a feasible candidate.
+            debug_assert!(pruned.is_empty(), "pruned shards without a feasible floor");
             if !job.constraints.single_node {
                 return self.decide_spilled(state, job);
             }
             return None;
         }
 
-        // The reference select_candidate scan, streamed over class-outcome
-        // references in flat candidate order.
         let (floor, gate) = selection_floor_gate(u_max, job.min_utility);
+
+        // Shadow-recompute every pruned shard against the final window:
+        // the bound must dominate the shard's true best utility
+        // (admissibility) *and* that best must fail the selection
+        // window (exactness). Debug builds only — the release path
+        // trusts the proof in DESIGN.md §11.
+        #[cfg(debug_assertions)]
+        for &(i, bound) in pruned {
+            let s = admitted[i];
+            let shard_u_max = fresh_shard_u_max(state, job, graph, self.weights, s, n, params);
+            assert!(
+                shard_u_max <= bound,
+                "shard {s} bound {bound} below its true u_max {shard_u_max}"
+            );
+            assert!(
+                skip_candidate(shard_u_max, floor, gate),
+                "pruned shard {s} (u_max {shard_u_max}) survives the selection window \
+                 (floor {floor}, gate {gate})"
+            );
+        }
+
+        // The reference select_candidate scan, restricted to each
+        // entry's precomputed contender window. Entries whose own
+        // maximum fails the window are skipped wholesale; within an
+        // entry, every non-contender carries a utility strictly below
+        // `entry.u_max − FRAG_TIE_EPS ≤ floor` (monotone subtraction),
+        // so the reference scan would skip it too — the survivors and
+        // their visit order are the flat scan's exactly, and every
+        // survivor still runs the full per-candidate predicates.
         let mut best: Option<(f64, f64, MachineId, &[GpuId])> = None;
-        for entry in &evaluated {
-            for (&machine, &c) in entry.candidates.iter().zip(&entry.classed.class_of) {
+        for entry in entries {
+            if entry.candidates.is_empty() || skip_candidate(entry.u_max, floor, gate) {
+                continue;
+            }
+            for &ci in &entry.contenders {
+                let machine = entry.candidates[ci as usize];
+                let c = entry.classed.class_of[ci as usize];
                 let CandidateOutcome::Feasible { gpus, utility, frag_after } =
                     &entry.classed.outcomes[c]
                 else {
@@ -630,12 +846,470 @@ impl Policy {
 /// preferring a machine for a sub-percent utility edge is noise-chasing.
 const FRAG_TIE_EPS: f64 = 0.01;
 
+/// Below this many memo-miss shards the per-batch thread spawn costs more
+/// than the shard evaluations; the batch stays on the caller's thread
+/// (results are identical either way — this is purely a latency heuristic).
+const MIN_PARALLEL_SHARDS: usize = 4;
+
+thread_local! {
+    /// Reusable per-decision admitted-shard list (hoisted allocation — the
+    /// sharded path runs tens of thousands of decisions per simulation).
+    static ADMITTED_SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    /// Reusable per-shard candidate list. Shard-memo entries must own their
+    /// candidates, so the builder fills this scratch (absorbing the growth
+    /// reallocations) and clones out at exactly the final length.
+    static CANDIDATE_SCRATCH: RefCell<Vec<MachineId>> = const { RefCell::new(Vec::new()) };
+    /// Reusable old-class → rebuilt-outcome index map for [`repair_shard`]
+    /// (cleared and refilled per repair; never escapes).
+    static REMAP_SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    /// Recycled [`ShardClassed`] entries: when a decision's put loop
+    /// replaces a memo slot, the retired entry (sole-owner by then — the
+    /// repair's borrow is gone) is reclaimed via [`Arc::try_unwrap`] and
+    /// its buffers handed back to [`repair_shard`], which would otherwise
+    /// allocate five `Vec`s per rebuilt shard, every decision.
+    static ENTRY_POOL: RefCell<Vec<ShardClassed>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Upper bound on pooled entries — comfortably above the memo-miss shards
+/// of one decision, small enough that an idle pool pins only a few KB.
+const ENTRY_POOL_CAP: usize = 32;
+
+/// The exact branch-and-bound prune test: `true` only when *no* candidate
+/// in a shard bounded by `bound` could affect the decision, given that some
+/// already-evaluated shard reached `u_best`.
+///
+/// Exactness argument (every comparison in the selection scan is monotone
+/// in the candidate utility, and every candidate in the shard scores
+/// `≤ bound ≤ u_best ≤` the final `u_max`):
+///
+/// * the pruned shard cannot move the `u_max` fold (`f64::max` with a
+///   value `≤` the running max is the identity, bit for bit), so the final
+///   floor and gate are unchanged;
+/// * first arm: `bound + 1e-12 < u_best − FRAG_TIE_EPS ≤` the final floor
+///   (float subtraction is monotone), so every candidate fails
+///   [`skip_candidate`]'s floor test;
+/// * second arm: `u_best` already activates the SLO gate (so the final
+///   `u_max` does too), and every candidate sits below `min_utility` by
+///   the same `1e-9` margin the gate test uses — all skipped.
+///
+/// The `bound > u_best` early-out keeps the test conservative when the
+/// bound *could* raise the maximum (then the shard must be evaluated, no
+/// matter how the arms would read).
+fn bound_prunes(bound: f64, u_best: f64, min_utility: f64) -> bool {
+    if bound > u_best {
+        return false;
+    }
+    bound + 1e-12 < u_best - FRAG_TIE_EPS
+        || (u_best + 1e-9 >= min_utility && bound + 1e-9 < min_utility)
+}
+
+/// Key for the per-thread [`ShardBoundCtx`] memo: everything the context
+/// depends on. The `epoch` is process-unique per [`ShardIndex`] instance
+/// (fresh on build and on clone), and every other context input — the
+/// profile library, the shard partition's static class sets, geometry and
+/// widths — is fixed for that instance's lifetime, so an entry can only be
+/// cold, never stale.
+#[derive(PartialEq, Eq, Hash)]
+struct BoundCtxKey {
+    epoch: u64,
+    model: NnModel,
+    batch: BatchClass,
+    n_gpus: u32,
+    weight_bits: [u64; 3],
+}
+
+thread_local! {
+    /// Cross-decision [`ShardBoundCtx`] memo. Building a context costs a
+    /// library sweep plus one Eq. 4 per co-runner count — trivial once,
+    /// but the sharded path runs tens of thousands of decisions that
+    /// recycle a handful of job classes.
+    static BOUND_CTX_MEMO: RefCell<HashMap<BoundCtxKey, Rc<ShardBoundCtx>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Distinct (index, job class) bound contexts kept per thread; far above
+/// any real trace's steady state, cleared wholesale when exceeded.
+const BOUND_CTX_CAP: usize = 256;
+
+/// The memoized bound context for this decision (see [`BoundCtxKey`] for
+/// why entries never go stale).
+fn cached_bound_ctx(
+    state: &ClusterState,
+    job: &JobSpec,
+    weights: UtilityWeights,
+    epoch: u64,
+) -> Rc<ShardBoundCtx> {
+    BOUND_CTX_MEMO.with(|cell| {
+        let mut memo = cell.borrow_mut();
+        if memo.len() >= BOUND_CTX_CAP {
+            memo.clear();
+        }
+        let key = BoundCtxKey {
+            epoch,
+            model: job.model,
+            batch: job.batch,
+            n_gpus: job.n_gpus,
+            weight_bits: [weights.cc.to_bits(), weights.b.to_bits(), weights.d.to_bits()],
+        };
+        Rc::clone(
+            memo.entry(key)
+                .or_insert_with(|| Rc::new(ShardBoundCtx::new(state, job, weights))),
+        )
+    })
+}
+
+/// Whether the batch fan-out can pay at all: the scoped pool spawns OS
+/// threads per batch, which only buys wall time when the host has more
+/// than one core (the `threads ≥ 2` engine floor exists for memoization,
+/// not parallelism). Debug builds always engage, so the bit-identity
+/// property suite exercises the batch path on any host.
+fn fan_out_pays() -> bool {
+    if cfg!(debug_assertions) {
+        return true;
+    }
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }) > 1
+}
+
+/// The per-shard contender window: indices of the feasible candidates
+/// whose utility survives the floor test at the *tightest* floor the shard
+/// can ever face (`u_max − FRAG_TIE_EPS`, its own maximum), with
+/// consecutive same-class runs collapsed to their head. Written with
+/// the same float expressions as [`skip_candidate`]'s floor arm, so
+/// exclusion here provably implies a skip in the reference scan at any
+/// actual floor (the global `u_max` is ≥ this shard's, and subtracting
+/// `FRAG_TIE_EPS` is monotone); run collapsing is exact because repeats
+/// carry the head's exact bits (see the inline argument).
+fn fold_contenders(classed: &ClassedOutcomes, u_max: f64) -> Vec<u32> {
+    let mut out = Vec::new();
+    fold_contenders_into(classed, u_max, &mut out);
+    out
+}
+
+/// [`fold_contenders`] writing into a caller-owned (pooled) buffer.
+fn fold_contenders_into(classed: &ClassedOutcomes, u_max: f64, out: &mut Vec<u32>) {
+    let local_floor = u_max - FRAG_TIE_EPS;
+    out.clear();
+    let mut last_kept: Option<usize> = None;
+    for (ci, &c) in classed.class_of.iter().enumerate() {
+        if let CandidateOutcome::Feasible { utility, .. } = classed.outcomes[c] {
+            if utility + 1e-12 >= local_floor {
+                // Collapse consecutive same-class runs: a window-passing
+                // candidate whose class equals the previous window-passing
+                // candidate's carries bit-identical (utility, frag), and
+                // `beats_winner` is false on equal bits — whether or not
+                // the run's head became the running best, the repeat can
+                // never displace it (floor-skipped candidates in between
+                // leave the running best untouched), so the reference scan
+                // provably ignores it.
+                if last_kept != Some(c) {
+                    out.push(ci as u32);
+                    last_kept = Some(c);
+                }
+            }
+        }
+    }
+}
+
+/// Builds one shard's candidate list (through the per-thread scratch) and
+/// runs the class evaluation, folding the shard's feasible-utility maximum.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_shard(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    shards: &ShardIndex,
+    s: usize,
+    n: usize,
+    params: EvalParams,
+    cache: Option<&EvalCache>,
+) -> Arc<ShardClassed> {
+    CANDIDATE_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.extend(shards.machines(s).iter().copied().filter(|&m| state.free_count(m) >= n));
+        let classed = evaluate_topo_classes(state, job, graph, weights, &buf, params, cache);
+        let stamps: Vec<u64> = buf.iter().map(|&m| state.key_stamp(m)).collect();
+        let mut u_max = f64::NEG_INFINITY;
+        for &c in &classed.class_of {
+            if let CandidateOutcome::Feasible { utility, .. } = classed.outcomes[c] {
+                u_max = u_max.max(utility);
+            }
+        }
+        let contenders = fold_contenders(&classed, u_max);
+        Arc::new(ShardClassed { candidates: buf.clone(), stamps, classed, u_max, contenders })
+    })
+}
+
+/// Rebuilds a stale whole-shard memo entry from its unchanged parts
+/// instead of re-evaluating every class. A candidate whose stored
+/// rebuild stamp still equals its live stamp provably kept its class key
+/// ([`ClusterState::key_stamp`]), and the key is a pure function of
+/// machine state (DESIGN.md §9), so its stored outcome bits are its live
+/// outcome bits — one `u64` compare per candidate, no key traffic.
+/// Changed or newly-feasible machines resolve through the class cache
+/// exactly as a fresh evaluation would ([`resolve_candidate_outcome`]),
+/// so every per-candidate outcome is bit-identical to a from-scratch
+/// pass.
+///
+/// The rebuilt grouping keeps one outcome per *surviving old class* plus
+/// one per changed machine, so it may duplicate a class a fresh pass
+/// would merge — `class_of` only needs alignment, not minimality: the
+/// `u_max` fold, [`fold_contenders`] and the selection scan all walk
+/// per-candidate sequences, and a duplicated class carries bit-equal
+/// outcomes, on which `beats_winner` is always false.
+#[allow(clippy::too_many_arguments)]
+fn repair_shard(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    shards: &ShardIndex,
+    s: usize,
+    n: usize,
+    cache: Option<&EvalCache>,
+    job_key: Option<&JobClassKey>,
+    old: &Arc<ShardClassed>,
+) -> Arc<ShardClassed> {
+    CANDIDATE_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.extend(shards.machines(s).iter().copied().filter(|&m| state.free_count(m) >= n));
+        let job_bits = job_key.map_or(0, JobClassKey::bits);
+        // Fast path: the version bump was invisible to this job class —
+        // every candidate survived with its stamp (hence key) intact,
+        // e.g. the touched machine is infeasible for `n` both before and
+        // after. The old entry is then bit-valid wholesale and simply
+        // re-registers under the new version.
+        let same_list = buf.len() == old.candidates.len() && buf.iter().eq(old.candidates.iter());
+        if same_list && buf.iter().zip(&old.stamps).all(|(&m, &st)| state.key_stamp(m) == st) {
+            return Arc::clone(old);
+        }
+        // Build into a recycled entry (its five buffers keep their
+        // capacity across decisions) — a steady-state repair costs zero
+        // `Vec` growth, only the `Arc` cell itself.
+        let mut entry = ENTRY_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        entry.candidates.clear();
+        entry.stamps.clear();
+        entry.classed.class_of.clear();
+        entry.classed.outcomes.clear();
+        let stamps = &mut entry.stamps;
+        let class_of = &mut entry.classed.class_of;
+        let outcomes = &mut entry.classed.outcomes;
+        // Old class index → rebuilt outcome index, filled lazily so
+        // orphaned classes (all members gone or changed) are dropped and
+        // repeated repairs can't accumulate them.
+        REMAP_SCRATCH.with(|remap_cell| {
+            let mut remap = remap_cell.borrow_mut();
+            remap.clear();
+            remap.resize(old.classed.outcomes.len(), usize::MAX);
+            let mut old_mpos = 0usize;
+            let mut prev: Option<MachineId> = None;
+            for (idx, &m) in buf.iter().enumerate() {
+                let stamp = state.key_stamp(m);
+                let mut old_pos = idx;
+                let reusable = if same_list {
+                    // Identical candidate lists (the common repair: the
+                    // touched machine stayed feasible) — old slot is the
+                    // same index, only the stamp needs a look.
+                    old.stamps[idx] == stamp
+                } else {
+                    // Both candidate lists ascend by machine id — a merge
+                    // walk finds m's old slot (when it was feasible last
+                    // time) in O(1) amortized.
+                    while old_mpos < old.candidates.len() && old.candidates[old_mpos] < m {
+                        old_mpos += 1;
+                    }
+                    old_pos = old_mpos;
+                    old_pos < old.candidates.len()
+                        && old.candidates[old_pos] == m
+                        && old.stamps[old_pos] == stamp
+                };
+                if reusable {
+                    let oc = old.classed.class_of[old_pos];
+                    if remap[oc] == usize::MAX {
+                        remap[oc] = outcomes.len();
+                        outcomes.push(old.classed.outcomes[oc].clone());
+                    }
+                    class_of.push(remap[oc]);
+                } else if prev.is_some_and(|p| {
+                    state.machine_class_key(p) == state.machine_class_key(m)
+                }) {
+                    // A changed machine whose live key equals the previous
+                    // candidate's joins its class: equal keys pin equal
+                    // outcome bits, and keeping the run intact keeps the
+                    // contender window as tight as a fresh grouping's (the
+                    // common case — a release returning a machine to the
+                    // idle class of its neighbours).
+                    class_of.push(*class_of.last().expect("prev implies nonempty"));
+                } else {
+                    let outcome = resolve_candidate_outcome(
+                        state,
+                        job,
+                        graph,
+                        weights,
+                        m,
+                        state.machine_class_key(m),
+                        job_key,
+                        job_bits,
+                        cache,
+                    );
+                    class_of.push(outcomes.len());
+                    outcomes.push(outcome);
+                }
+                stamps.push(stamp);
+                prev = Some(m);
+            }
+        });
+        let mut u_max = f64::NEG_INFINITY;
+        for &c in &entry.classed.class_of {
+            if let CandidateOutcome::Feasible { utility, .. } = entry.classed.outcomes[c] {
+                u_max = u_max.max(utility);
+            }
+        }
+        fold_contenders_into(&entry.classed, u_max, &mut entry.contenders);
+        entry.u_max = u_max;
+        entry.candidates.extend_from_slice(&buf);
+        Arc::new(entry)
+    })
+}
+
+/// Evaluates one memo-miss shard, repairing its stale entry when one
+/// exists ([`repair_shard`]) and evaluating from scratch otherwise.
+#[allow(clippy::too_many_arguments)]
+fn eval_or_repair(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    shards: &ShardIndex,
+    s: usize,
+    n: usize,
+    params: EvalParams,
+    cache: Option<&EvalCache>,
+    job_key: Option<&JobClassKey>,
+    stale: Option<&Arc<ShardClassed>>,
+) -> Arc<ShardClassed> {
+    match stale {
+        Some(old) => {
+            repair_shard(state, job, graph, weights, shards, s, n, cache, job_key, old)
+        }
+        None => evaluate_shard(state, job, graph, weights, shards, s, n, params, cache),
+    }
+}
+
+/// Evaluates the surviving memo-miss shards as one batch: one task per
+/// shard across the worker pool (each task evaluates its shard's classes on
+/// its own thread — `threads: 1` inside — so the pool is fed `|shards|`
+/// coarse tasks instead of being entered once per shard). Results come back
+/// in input order via the index-slot reduction in [`run_indexed`]; the
+/// caller re-establishes ascending shard order, so the fan-out is invisible
+/// to the selection scan. Small batches stay on the caller's thread.
+#[allow(clippy::too_many_arguments)]
+fn eval_shard_batch(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    shards: &ShardIndex,
+    admitted: &[usize],
+    survivors: &[(usize, f64)],
+    n: usize,
+    params: EvalParams,
+    caches: Option<&[EvalCache]>,
+    job_key: Option<&JobClassKey>,
+    stale: &[Option<Arc<ShardClassed>>],
+) -> Vec<(usize, Arc<ShardClassed>)> {
+    if survivors.len() >= MIN_PARALLEL_SHARDS && fan_out_pays() {
+        let inner = EvalParams { threads: 1, ..params };
+        let results = run_indexed(survivors.len(), params.threads, |k| {
+            let i = survivors[k].0;
+            let s = admitted[i];
+            eval_or_repair(
+                state,
+                job,
+                graph,
+                weights,
+                shards,
+                s,
+                n,
+                inner,
+                caches.map(|cs| &cs[s % cs.len()]),
+                job_key,
+                stale[i].as_ref(),
+            )
+        });
+        survivors.iter().map(|&(i, _)| i).zip(results).collect()
+    } else {
+        survivors
+            .iter()
+            .map(|&(i, _)| {
+                let s = admitted[i];
+                let entry = eval_or_repair(
+                    state,
+                    job,
+                    graph,
+                    weights,
+                    shards,
+                    s,
+                    n,
+                    params,
+                    caches.map(|cs| &cs[s % cs.len()]),
+                    job_key,
+                    stale[i].as_ref(),
+                );
+                (i, entry)
+            })
+            .collect()
+    }
+}
+
+/// Fresh (cache-free) evaluation of one shard's best feasible utility — the
+/// debug shadow check behind bound pruning.
+#[cfg(debug_assertions)]
+fn fresh_shard_u_max(
+    state: &ClusterState,
+    job: &JobSpec,
+    graph: &JobGraph,
+    weights: UtilityWeights,
+    shard: usize,
+    n: usize,
+    params: EvalParams,
+) -> f64 {
+    let candidates: Vec<MachineId> = state
+        .shards()
+        .machines(shard)
+        .iter()
+        .copied()
+        .filter(|&m| state.free_count(m) >= n)
+        .collect();
+    let fresh = evaluate_topo_classes(state, job, graph, weights, &candidates, params, None);
+    let mut u_max = f64::NEG_INFINITY;
+    for &c in &fresh.class_of {
+        if let CandidateOutcome::Feasible { utility, .. } = fresh.outcomes[c] {
+            u_max = u_max.max(utility);
+        }
+    }
+    u_max
+}
+
 /// Debug check behind every shard-memo hit: rebuild the candidate list and
 /// re-run the class evaluation against the live state, then assert the memo
-/// replays exactly those bits — the shadow-recompute discipline
+/// replays the same *per-candidate* bits — the shadow-recompute discipline
 /// (DESIGN.md §9) applied to the cross-decision shard memo. A failure here
 /// means some mutation path changed eval-relevant state without rebuilding
 /// the touched machine's class key (and thereby bumping the shard version).
+///
+/// The comparison is per candidate rather than structural on purpose: a
+/// repaired entry ([`repair_shard`]) may group candidates into more classes
+/// than a fresh pass would merge, and its contender window may anchor runs
+/// at different heads — both are invisible to the selection scan, which
+/// only dereferences `outcomes[class_of[i]]` per candidate. The contender
+/// window is instead checked for internal consistency against the entry's
+/// *own* grouping, which is exactly what the scan walks.
 #[cfg(debug_assertions)]
 #[allow(clippy::too_many_arguments)]
 fn debug_assert_shard_memo_matches(
@@ -657,11 +1331,18 @@ fn debug_assert_shard_memo_matches(
         .collect();
     let fresh = evaluate_topo_classes(state, job, graph, weights, &candidates, params, None);
     assert_eq!(entry.candidates, candidates, "shard {shard} memo: stale candidate set");
-    assert_eq!(
-        entry.classed.class_of, fresh.class_of,
-        "shard {shard} memo: stale class grouping"
-    );
-    assert_eq!(entry.classed.outcomes, fresh.outcomes, "shard {shard} memo: stale outcomes");
+    for (i, &m) in candidates.iter().enumerate() {
+        assert_eq!(
+            entry.stamps[i],
+            state.key_stamp(m),
+            "shard {shard} memo: stale key stamp for machine {m}"
+        );
+        assert_eq!(
+            entry.classed.outcomes[entry.classed.class_of[i]],
+            fresh.outcomes[fresh.class_of[i]],
+            "shard {shard} memo: stale outcome for machine {m}"
+        );
+    }
     let mut want_u_max = f64::NEG_INFINITY;
     for &c in &fresh.class_of {
         if let CandidateOutcome::Feasible { utility, .. } = fresh.outcomes[c] {
@@ -672,6 +1353,11 @@ fn debug_assert_shard_memo_matches(
         entry.u_max.to_bits(),
         want_u_max.to_bits(),
         "shard {shard} memo: stale u_max fold"
+    );
+    assert_eq!(
+        entry.contenders,
+        fold_contenders(&entry.classed, entry.u_max),
+        "shard {shard} memo: inconsistent contender window"
     );
 }
 

@@ -78,6 +78,23 @@ pub struct ShardIndex {
     /// `hist[s][k]` — machines of shard `s` with exactly `k` free GPUs
     /// (down machines count as 0 free). `k` ranges to the widest machine.
     hist: Vec<Vec<u32>>,
+    /// `idle_hist[s][k]` — machines of shard `s` that are *idle* (every GPU
+    /// free, i.e. free == width; down machines are never idle) and have `k`
+    /// GPUs. Split out of `hist` because the utility bound treats idle
+    /// machines differently: an idle host has no co-runners, so `u_b = 1`
+    /// is achievable there, while an occupied machine in bucket `k` hosts
+    /// at least one co-runner.
+    idle_hist: Vec<Vec<u32>>,
+    /// Installed GPU count per machine (static).
+    width_of: Vec<u32>,
+    /// Widest machine per shard (static).
+    max_width: Vec<u32>,
+    /// Distinct topology-class ids present in each shard, ascending
+    /// (static — the partition and the machines never change).
+    classes: Vec<Vec<u32>>,
+    /// Per topology class: `(n_sockets, widest socket's GPU count)` for the
+    /// pigeonhole `u_d` bound (static, indexed by class id).
+    class_geom: Vec<(u32, u32)>,
     /// Free GPUs per shard (Σ k·hist\[s\]\[k\]).
     free_total: Vec<usize>,
     /// Free GPUs across the cluster.
@@ -96,6 +113,11 @@ pub struct ShardIndex {
     admission_checked: AtomicU64,
     /// Shards skipped by admission (no machine wide enough for the job).
     admission_skipped: AtomicU64,
+    /// Memo-miss shards whose utility bound was consulted.
+    bound_checked: AtomicU64,
+    /// Memo-miss shards skipped because the bound proved them
+    /// uncompetitive (branch-and-bound prune).
+    bound_pruned: AtomicU64,
 }
 
 /// Allocates a process-unique epoch id (never reused, never 0).
@@ -110,6 +132,11 @@ impl Clone for ShardIndex {
             shard_of: self.shard_of.clone(),
             members: self.members.clone(),
             hist: self.hist.clone(),
+            idle_hist: self.idle_hist.clone(),
+            width_of: self.width_of.clone(),
+            max_width: self.max_width.clone(),
+            classes: self.classes.clone(),
+            class_geom: self.class_geom.clone(),
             free_total: self.free_total.clone(),
             cluster_free: self.cluster_free,
             versions: self.versions.clone(),
@@ -119,6 +146,8 @@ impl Clone for ShardIndex {
             epoch: next_epoch(),
             admission_checked: AtomicU64::new(self.admission_checked.load(Ordering::Relaxed)),
             admission_skipped: AtomicU64::new(self.admission_skipped.load(Ordering::Relaxed)),
+            bound_checked: AtomicU64::new(self.bound_checked.load(Ordering::Relaxed)),
+            bound_pruned: AtomicU64::new(self.bound_pruned.load(Ordering::Relaxed)),
         }
     }
 }
@@ -164,26 +193,58 @@ impl ShardIndex {
             .unwrap_or(0);
         let mut members = vec![Vec::new(); n_shards];
         let mut hist = vec![vec![0u32; width + 1]; n_shards];
+        let mut idle_hist = vec![vec![0u32; width + 1]; n_shards];
+        let mut width_of = vec![0u32; n];
+        let mut max_width = vec![0u32; n_shards];
+        let mut classes = vec![Vec::new(); n_shards];
+        let mut class_geom = vec![(0u32, 0u32); cluster.n_machine_classes()];
         let mut free_total = vec![0usize; n_shards];
         let mut cluster_free = 0usize;
         for m in cluster.machines() {
             let s = shard_of[m.index()] as usize;
             let free = free_count(m);
+            let topo = cluster.machine(m);
+            let w = topo.n_gpus();
+            let class = cluster.machine_class(m);
             members[s].push(m);
             hist[s][free] += 1;
+            if free == w {
+                idle_hist[s][free] += 1;
+            }
+            width_of[m.index()] = w as u32;
+            max_width[s] = max_width[s].max(w as u32);
+            if !classes[s].contains(&class) {
+                classes[s].push(class);
+            }
+            let max_socket = topo
+                .sockets()
+                .map(|sk| topo.gpus_in_socket(sk).len())
+                .max()
+                .unwrap_or(0);
+            class_geom[class as usize] = (topo.n_sockets() as u32, max_socket as u32);
             free_total[s] += free;
             cluster_free += free;
+        }
+        for cs in &mut classes {
+            cs.sort_unstable();
         }
         Self {
             shard_of,
             members,
             hist,
+            idle_hist,
+            width_of,
+            max_width,
+            classes,
+            class_geom,
             free_total,
             cluster_free,
             versions: vec![0; n_shards],
             epoch: next_epoch(),
             admission_checked: AtomicU64::new(0),
             admission_skipped: AtomicU64::new(0),
+            bound_checked: AtomicU64::new(0),
+            bound_pruned: AtomicU64::new(0),
         }
     }
 
@@ -259,8 +320,62 @@ impl ShardIndex {
         debug_assert!(self.hist[s][old_free] > 0, "{machine} histogram underflow");
         self.hist[s][old_free] -= 1;
         self.hist[s][new_free] += 1;
+        let w = self.width_of[machine.index()] as usize;
+        if old_free == w {
+            debug_assert!(self.idle_hist[s][w] > 0, "{machine} idle underflow");
+            self.idle_hist[s][w] -= 1;
+        }
+        if new_free == w {
+            self.idle_hist[s][w] += 1;
+        }
         self.free_total[s] = self.free_total[s] + new_free - old_free;
         self.cluster_free = self.cluster_free + new_free - old_free;
+    }
+
+    /// The shard's free-GPU histogram (`[k]` = machines with `k` free).
+    pub fn hist(&self, shard: usize) -> &[u32] {
+        &self.hist[shard]
+    }
+
+    /// The shard's idle-machine histogram (`[k]` = fully-idle machines with
+    /// `k` installed GPUs).
+    pub fn idle_hist(&self, shard: usize) -> &[u32] {
+        &self.idle_hist[shard]
+    }
+
+    /// Installed GPUs on `machine`.
+    pub fn width_of(&self, machine: MachineId) -> usize {
+        self.width_of[machine.index()] as usize
+    }
+
+    /// Widest machine in `shard` (installed GPUs, not current free count).
+    pub fn max_width(&self, shard: usize) -> usize {
+        self.max_width[shard] as usize
+    }
+
+    /// Distinct topology-class ids present in `shard`, ascending.
+    pub fn classes_in(&self, shard: usize) -> &[u32] {
+        &self.classes[shard]
+    }
+
+    /// Per topology class `(n_sockets, widest socket's GPU count)`.
+    pub fn class_geom(&self) -> &[(u32, u32)] {
+        &self.class_geom
+    }
+
+    /// Records one bound pass over memo-miss shards: `checked` bounds
+    /// consulted, `pruned` shards skipped on their strength.
+    pub fn note_bound(&self, checked: u64, pruned: u64) {
+        self.bound_checked.fetch_add(checked, Ordering::Relaxed);
+        self.bound_pruned.fetch_add(pruned, Ordering::Relaxed);
+    }
+
+    /// Total `(checked, pruned)` bound counters so far.
+    pub fn bound_stats(&self) -> (u64, u64) {
+        (
+            self.bound_checked.load(Ordering::Relaxed),
+            self.bound_pruned.load(Ordering::Relaxed),
+        )
     }
 
     /// Records one admission pass: `checked` shards consulted, `skipped` of
@@ -360,6 +475,77 @@ impl ShardIndex {
         }
         Ok(())
     }
+
+    /// Re-derives every input of the per-shard utility bound from scratch
+    /// and compares — `audit()` check 9. Any drift means a mutation path
+    /// maintained `hist` but not the bound state (or vice versa).
+    pub fn verify_bound_state(
+        &self,
+        cluster: &ClusterTopology,
+        free_count: impl Fn(MachineId) -> usize,
+    ) -> Result<(), String> {
+        let n_shards = self.members.len();
+        let buckets = self.hist.first().map_or(1, Vec::len);
+        let mut want_idle = vec![vec![0u32; buckets]; n_shards];
+        let mut want_max_width = vec![0u32; n_shards];
+        let mut want_classes: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        let mut want_geom = vec![(0u32, 0u32); cluster.n_machine_classes()];
+        for m in cluster.machines() {
+            let s = self.shard_of[m.index()] as usize;
+            let topo = cluster.machine(m);
+            let w = topo.n_gpus();
+            if self.width_of[m.index()] as usize != w {
+                return Err(format!(
+                    "{m} width {} disagrees with topology {w}",
+                    self.width_of[m.index()]
+                ));
+            }
+            if free_count(m) == w {
+                want_idle[s][w] += 1;
+            }
+            want_max_width[s] = want_max_width[s].max(w as u32);
+            let class = cluster.machine_class(m);
+            if !want_classes[s].contains(&class) {
+                want_classes[s].push(class);
+            }
+            let max_socket = topo
+                .sockets()
+                .map(|sk| topo.gpus_in_socket(sk).len())
+                .max()
+                .unwrap_or(0);
+            want_geom[class as usize] = (topo.n_sockets() as u32, max_socket as u32);
+        }
+        for cs in &mut want_classes {
+            cs.sort_unstable();
+        }
+        for s in 0..n_shards {
+            if self.idle_hist[s] != want_idle[s] {
+                return Err(format!(
+                    "shard {s} idle histogram {:?} disagrees with ground truth {:?}",
+                    self.idle_hist[s], want_idle[s]
+                ));
+            }
+            if self.max_width[s] != want_max_width[s] {
+                return Err(format!(
+                    "shard {s} max width {} disagrees with ground truth {}",
+                    self.max_width[s], want_max_width[s]
+                ));
+            }
+            if self.classes[s] != want_classes[s] {
+                return Err(format!(
+                    "shard {s} class set {:?} disagrees with ground truth {:?}",
+                    self.classes[s], want_classes[s]
+                ));
+            }
+        }
+        if self.class_geom != want_geom {
+            return Err(format!(
+                "class geometry {:?} disagrees with ground truth {:?}",
+                self.class_geom, want_geom
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +626,68 @@ mod tests {
         assert_ne!(cloned.epoch(), idx.epoch(), "epochs never alias");
         let rebuilt = ShardIndex::build(&c, ShardSpec::Auto, |_| 4);
         assert_ne!(rebuilt.epoch(), idx.epoch());
+    }
+
+    #[test]
+    fn idle_histogram_tracks_full_width_transitions() {
+        let c = ClusterTopology::homogeneous_racked(power8_minsky(), 2, 2);
+        let mut idx = ShardIndex::build(&c, ShardSpec::Auto, |_| 4);
+        assert_eq!(idx.idle_hist(0), &[0, 0, 0, 0, 2], "all machines start idle");
+        assert_eq!(idx.max_width(0), 4);
+        assert_eq!(idx.width_of(MachineId(3)), 4);
+        // Partial occupancy leaves the idle bucket, full release re-enters
+        // it, and an intermediate step never touches it.
+        idx.update(MachineId(0), 4, 2);
+        assert_eq!(idx.idle_hist(0), &[0, 0, 0, 0, 1]);
+        idx.update(MachineId(0), 2, 1);
+        assert_eq!(idx.idle_hist(0), &[0, 0, 0, 0, 1]);
+        idx.update(MachineId(0), 1, 4);
+        assert_eq!(idx.idle_hist(0), &[0, 0, 0, 0, 2]);
+        // A failure (idle machine → 0 free) drains the idle bucket without
+        // a matching 0-width entry: down machines are never idle.
+        idx.update(MachineId(1), 4, 0);
+        assert_eq!(idx.idle_hist(0), &[0, 0, 0, 0, 1]);
+        let counts = [4usize, 0, 4, 4];
+        idx.verify(&c, |m| counts[m.index()]).unwrap();
+        idx.verify_bound_state(&c, |m| counts[m.index()]).unwrap();
+        // Recovery restores the idle bucket.
+        idx.update(MachineId(1), 0, 4);
+        idx.verify_bound_state(&c, |_| 4).unwrap();
+    }
+
+    #[test]
+    fn bound_state_verify_catches_idle_drift() {
+        let c = ClusterTopology::homogeneous_racked(power8_minsky(), 2, 2);
+        let idx = ShardIndex::build(&c, ShardSpec::Auto, |_| 4);
+        // Ground truth says machine0 is occupied, but the index still lists
+        // it idle: check 9 must object even though plain `hist` disagrees
+        // too — drift detection must not depend on check 8 running first.
+        let counts = [2usize, 4, 4, 4];
+        let err = idx.verify_bound_state(&c, |m| counts[m.index()]).unwrap_err();
+        assert!(err.contains("idle histogram"), "got: {err}");
+    }
+
+    #[test]
+    fn class_sets_and_geometry_are_derived_at_build() {
+        let c = ClusterTopology::homogeneous_racked(power8_minsky(), 3, 2);
+        let idx = ShardIndex::build(&c, ShardSpec::Auto, |_| 4);
+        for s in 0..idx.n_shards() {
+            assert_eq!(idx.classes_in(s), &[0], "homogeneous cluster: one class");
+        }
+        // power8_minsky: 4 GPUs over 2 sockets, 2 per socket.
+        assert_eq!(idx.class_geom(), &[(2, 2)]);
+        idx.verify_bound_state(&c, |_| 4).unwrap();
+    }
+
+    #[test]
+    fn bound_counters_accumulate_through_shared_refs() {
+        let c = ClusterTopology::homogeneous(power8_minsky(), 2);
+        let idx = ShardIndex::build(&c, ShardSpec::Count(2), |_| 4);
+        idx.note_bound(3, 2);
+        idx.note_bound(1, 0);
+        assert_eq!(idx.bound_stats(), (4, 2));
+        let cloned = idx.clone();
+        assert_eq!(cloned.bound_stats(), (4, 2));
     }
 
     #[test]

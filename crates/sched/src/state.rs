@@ -212,6 +212,13 @@ pub struct ClusterState {
     /// machines a `place`/`release`/failure touches (the PR 4
     /// dirty-machine discipline applied to keys).
     class_keys: Vec<MachineClassKey>,
+    /// Per-machine monotone rebuild counter for the class key: bumped every
+    /// time `rebuild_machine_key` replaces `class_keys[m]`. An unchanged
+    /// stamp therefore proves the machine's key — and every pure-function
+    /// consequence of it — is the very value another snapshot saw, without
+    /// touching the key's `Arc` (the shard-memo repair path compares stamps
+    /// instead of cloning keys).
+    key_stamps: Vec<u64>,
     /// Per-machine interned co-runner signature — the same `Arc` the class
     /// key holds, served to every [`crate::StateOracle`].
     corunners: Vec<Arc<Vec<Corunner>>>,
@@ -272,6 +279,7 @@ impl ClusterState {
             bw_capacity_gbs: DEFAULT_SOCKET_BW_GBS,
             down,
             class_keys: Vec::new(),
+            key_stamps: Vec::new(),
             corunners: Vec::new(),
             running: HashMap::new(),
             shards,
@@ -280,6 +288,7 @@ impl ClusterState {
             let (corunners, key) = state.compute_machine_key(m);
             state.corunners.push(corunners);
             state.class_keys.push(key);
+            state.key_stamps.push(0);
         }
         state
     }
@@ -327,6 +336,7 @@ impl ClusterState {
         let (corunners, key) = self.compute_machine_key(machine);
         self.corunners[machine.index()] = corunners;
         self.class_keys[machine.index()] = key;
+        self.key_stamps[machine.index()] += 1;
         // Every eval-relevant mutation funnels through this rebuild, so
         // bumping here is what makes an unchanged (epoch, version) pair
         // prove the shard memo entry still matches the live state.
@@ -336,6 +346,15 @@ impl ClusterState {
     /// The machine's precomputed equivalence-class key (DESIGN.md §7, §9).
     pub fn machine_class_key(&self, machine: MachineId) -> &MachineClassKey {
         &self.class_keys[machine.index()]
+    }
+
+    /// The machine's class-key rebuild stamp: equal stamps prove equal keys
+    /// (the key is only ever replaced through `rebuild_machine_key`, which
+    /// bumps this). The converse does not hold — a place/release pair can
+    /// restore the old key under a new stamp — so stamp inequality means
+    /// "re-check", never "wrong".
+    pub fn key_stamp(&self, machine: MachineId) -> u64 {
+        self.key_stamps[machine.index()]
     }
 
     /// The machine's interned co-runner signature, canonical
@@ -856,6 +875,11 @@ impl ClusterState {
         // the partition's structural invariants; drift means a
         // place/release/failure path skipped a `ShardIndex::update`.
         self.shards.verify(&self.cluster, |m| self.free_count(m))?;
+        // 9: the utility-bound inputs. Re-derive the idle-machine
+        // histograms, machine widths and static class sets/geometry backing
+        // the branch-and-bound shard pruning; drift here would silently
+        // turn the "exact" prune into a lossy one.
+        self.shards.verify_bound_state(&self.cluster, |m| self.free_count(m))?;
         Ok(())
     }
 

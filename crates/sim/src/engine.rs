@@ -295,6 +295,13 @@ pub struct SimLoopStats {
     /// Shards the admission pass skipped outright — no machine in the
     /// shard had enough free GPUs, so placement never scanned it.
     pub shard_admission_skipped: u64,
+    /// Memo-miss shards whose admissible utility bound was consulted by
+    /// the branch-and-bound prune pass. 0 with `GTS_SHARD_BOUND=0` or on
+    /// the single-shard path.
+    pub shard_bound_checked: u64,
+    /// Memo-miss shards skipped outright because their bound proved no
+    /// candidate could enter the selection window.
+    pub shard_bound_pruned: u64,
 }
 
 impl SimLoopStats {
@@ -516,6 +523,9 @@ impl Simulation {
         let (checked, skipped) = self.scheduler.state().shards().admission_stats();
         self.stats.shard_admission_checked = checked;
         self.stats.shard_admission_skipped = skipped;
+        let (bound_checked, bound_pruned) = self.scheduler.state().shards().bound_stats();
+        self.stats.shard_bound_checked = bound_checked;
+        self.stats.shard_bound_pruned = bound_pruned;
         let stats = std::mem::take(&mut self.stats);
         let result = SimResult {
             policy: self.config.policy.kind,
@@ -1367,6 +1377,55 @@ mod tests {
         assert_eq!(sharded_res.records, single_res.records);
         assert_eq!(sharded_res.events, single_res.events);
         assert_eq!(sharded_res.makespan_s.to_bits(), single_res.makespan_s.to_bits());
+    }
+
+    /// The utility-bound pruner must surface its counters through
+    /// `SimLoopStats`, actually prune in a scenario built to trip the
+    /// min-utility gate arm, and leave results bit-identical to the
+    /// unpruned path. Scenario: 2 machines / 2 shards; job 0 occupies
+    /// machine 0, so job 1 (min_utility just under 1) sees shard 1 as a
+    /// memo hit at utility 1.0 (the floor) while shard 0's occupied-machine
+    /// bound falls below the gate — an exact prune in both serial and
+    /// parallel fan-out modes.
+    #[test]
+    fn shard_bound_counters_surface_in_stats() {
+        let run = |par: bool, bound: bool| {
+            let machine = power8_minsky();
+            let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+            let cluster = Arc::new(ClusterTopology::homogeneous_racked(machine, 2, 1));
+            let trace = vec![
+                JobSpec::new(0, NnModel::AlexNet, BatchClass::Tiny, 1)
+                    .arriving_at(0.0)
+                    .with_iterations(2000)
+                    .with_min_utility(0.3),
+                JobSpec::new(1, NnModel::AlexNet, BatchClass::Tiny, 1)
+                    .arriving_at(1.0)
+                    .with_iterations(2000)
+                    .with_min_utility(0.9999),
+            ];
+            Simulation::new(
+                cluster,
+                profiles,
+                SimConfig::new(Policy::new(PolicyKind::TopoAware))
+                    .with_eval(
+                        EvalParams::parallel(2).with_shard_par(par).with_shard_bound(bound),
+                    )
+                    .with_eval_cache(true)
+                    .with_shards(2),
+            )
+            .run_with_stats(trace)
+        };
+        let (base_res, base) = run(false, false);
+        assert_eq!(base.shard_bound_checked, 0);
+        assert_eq!(base.shard_bound_pruned, 0);
+        for par in [false, true] {
+            let (res, stats) = run(par, true);
+            assert!(stats.shard_bound_checked > 0, "par={par}: no shard was bound-checked");
+            assert!(stats.shard_bound_pruned > 0, "par={par}: gate-arm scenario never pruned");
+            assert_eq!(res.records, base_res.records, "par={par}");
+            assert_eq!(res.events, base_res.events, "par={par}");
+            assert_eq!(res.makespan_s.to_bits(), base_res.makespan_s.to_bits(), "par={par}");
+        }
     }
 
     /// The admission pre-pass must reject oversized jobs with the cached

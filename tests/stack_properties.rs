@@ -312,13 +312,24 @@ fn simulate_with_shards(
     kind: PolicyKind,
     shards: usize,
 ) -> SimResult {
+    simulate_with_shards_eval(seed, n_racks, kind, shards, EvalParams::parallel(4))
+}
+
+/// [`simulate_with_shards`] with explicit [`EvalParams`] so the shard
+/// fan-out / bound-pruning knobs can be pinned per run, independent of the
+/// process environment.
+fn simulate_with_shards_eval(
+    seed: u64,
+    n_racks: usize,
+    kind: PolicyKind,
+    shards: usize,
+    eval: EvalParams,
+) -> SimResult {
     let machine = power8_minsky();
     let profiles = Arc::new(ProfileLibrary::generate(&machine, 42));
     let cluster = Arc::new(ClusterTopology::homogeneous_racked(machine, n_racks, 2));
     let trace = WorkloadGenerator::with_defaults(seed).generate(24);
-    let mut config = SimConfig::new(Policy::new(kind))
-        .with_eval(EvalParams::parallel(4))
-        .with_shards(shards);
+    let mut config = SimConfig::new(Policy::new(kind)).with_eval(eval).with_shards(shards);
     if seed.is_multiple_of(2) {
         config = config
             .with_machine_failures(vec![(50.0, MachineId(1))])
@@ -328,6 +339,27 @@ fn simulate_with_shards(
         config = config.with_jitter(0.08, seed.wrapping_mul(0x9E37_79B9) + 1);
     }
     Simulation::new(cluster, profiles, config).run(trace)
+}
+
+/// Asserts two runs are bit-identical in everything but wall-clock.
+#[track_caller]
+fn assert_runs_identical(ctx: &str, reference: &SimResult, run: &SimResult) {
+    assert_eq!(reference.policy, run.policy, "{ctx}: policy");
+    assert_eq!(reference.records, run.records, "{ctx}: records");
+    assert_eq!(reference.unplaceable, run.unplaceable, "{ctx}: unplaceable");
+    assert_eq!(reference.timeline, run.timeline, "{ctx}: timeline");
+    assert_eq!(reference.utility_series, run.utility_series, "{ctx}: utility series");
+    assert_eq!(
+        reference.makespan_s.to_bits(),
+        run.makespan_s.to_bits(),
+        "{ctx}: makespan {} vs {}",
+        reference.makespan_s,
+        run.makespan_s
+    );
+    assert_eq!(reference.slo_violations, run.slo_violations, "{ctx}: SLO violations");
+    assert_eq!(reference.failures, run.failures, "{ctx}: failures");
+    assert_eq!(reference.events, run.events, "{ctx}: events");
+    assert_eq!(reference.trace, run.trace, "{ctx}: decision trace");
 }
 
 /// The sharded two-level scheduler (per-rack admission aggregates + shard-
@@ -343,22 +375,37 @@ fn sharded_scheduler_is_bit_identical_to_single_shard() {
             let single = simulate_with_shards(seed, n_racks, kind, 1);
             let sharded = simulate_with_shards(seed, n_racks, kind, n_racks);
             let ctx = format!("{kind:?} seed {seed} ({n_racks} racks)");
-            assert_eq!(single.policy, sharded.policy, "{ctx}: policy");
-            assert_eq!(single.records, sharded.records, "{ctx}: records");
-            assert_eq!(single.unplaceable, sharded.unplaceable, "{ctx}: unplaceable");
-            assert_eq!(single.timeline, sharded.timeline, "{ctx}: timeline");
-            assert_eq!(single.utility_series, sharded.utility_series, "{ctx}: utility series");
-            assert_eq!(
-                single.makespan_s.to_bits(),
-                sharded.makespan_s.to_bits(),
-                "{ctx}: makespan {} vs {}",
-                single.makespan_s,
-                sharded.makespan_s
-            );
-            assert_eq!(single.slo_violations, sharded.slo_violations, "{ctx}: SLO violations");
-            assert_eq!(single.failures, sharded.failures, "{ctx}: failures");
-            assert_eq!(single.events, sharded.events, "{ctx}: events");
-            assert_eq!(single.trace, sharded.trace, "{ctx}: decision trace");
+            assert_runs_identical(&ctx, &single, &sharded);
+        }
+    }
+}
+
+/// The parallel shard fan-out and the branch-and-bound shard pruning (both
+/// individually and combined) must be bit-identical to the single-shard
+/// reference: same records, same events, same metrics, for every policy
+/// across many seeds, including machine-failure and jitter runs. Uses 4+
+/// racks so cold decisions clear the fan-out's minimum batch size, and
+/// pins the knobs through [`EvalParams`] so the matrix is exercised
+/// in-process regardless of `GTS_SHARD_PAR`/`GTS_SHARD_BOUND` in the
+/// environment. Debug builds additionally shadow-evaluate every pruned
+/// shard inside the decision path and assert the bound held.
+#[test]
+fn parallel_pruned_shards_are_bit_identical_to_single_shard() {
+    for kind in PolicyKind::ALL {
+        for seed in 0..8u64 {
+            let n_racks = 4 + (seed as usize % 3);
+            let single = simulate_with_shards(seed, n_racks, kind, 1);
+            for par in [false, true] {
+                for bound in [false, true] {
+                    let eval =
+                        EvalParams::parallel(4).with_shard_par(par).with_shard_bound(bound);
+                    let run = simulate_with_shards_eval(seed, n_racks, kind, n_racks, eval);
+                    let ctx = format!(
+                        "{kind:?} seed {seed} ({n_racks} racks, par={par}, bound={bound})"
+                    );
+                    assert_runs_identical(&ctx, &single, &run);
+                }
+            }
         }
     }
 }
