@@ -151,6 +151,14 @@ fn run_bench(args: &[String]) -> ExitCode {
         report.huge_decision_speedup,
         if smoke { "  [smoke — not comparable]" } else { "" },
     );
+    println!(
+        "phase shares of instrumented sim/large_cached run: decision {:.1}%, \
+         refresh {:.1}%, heap {:.1}%, drain {:.1}%",
+        report.phase_shares.decision * 100.0,
+        report.phase_shares.refresh * 100.0,
+        report.phase_shares.heap * 100.0,
+        report.phase_shares.drain * 100.0,
+    );
     if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -198,12 +206,14 @@ fn run_scale_curve(args: &[String]) -> ExitCode {
     for p in &report.scale_curve {
         println!(
             "{:>6} machines / {:>4} shard(s): mean decision {:>9.1} µs over {} jobs \
-             ({} ms wall){}",
+             ({:.1} ms wall, {} replay hit(s), {} shard(s) re-evaluated){}",
             p.machines,
             p.shards,
             p.mean_decision_ns as f64 / 1_000.0,
             p.jobs,
-            p.wall_ms,
+            p.wall_ns as f64 / 1e6,
+            p.replay_hits,
+            p.replay_shards_reeval,
             if smoke { "  [smoke — not comparable]" } else { "" },
         );
     }
@@ -373,6 +383,13 @@ fn print_event(event: &TraceEvent) {
                  {evictions} eviction(s) ({} hit rate)",
                 f(*t_s, 1),
                 f(rate, 3),
+            );
+        }
+        TraceEvent::DecisionReplayStats { t_s, hits, shards_reeval, full_fallbacks } => {
+            println!(
+                "[{:>9}s] decision replay: {hits} hit(s), {shards_reeval} shard(s) \
+                 re-evaluated, {full_fallbacks} full fallback(s)",
+                f(*t_s, 1),
             );
         }
     }

@@ -36,6 +36,12 @@ pub struct BenchEntry {
     pub min_ns: u64,
     /// Timed iterations.
     pub samples: u64,
+    /// 99th-percentile latency, nanoseconds. Carried only by the
+    /// `decision/huge_*` entries (worst per-decision tail across the
+    /// sample runs — the quantity a mean hides once replay answers most
+    /// retries in O(1)); 0 for criterion-timed entries.
+    #[serde(default)]
+    pub p99_ns: u64,
 }
 
 /// One machines-vs-decision-latency sample of the sharded scheduler
@@ -53,6 +59,38 @@ pub struct ScalePoint {
     pub mean_decision_ns: u64,
     /// End-to-end wall time of the whole run, milliseconds.
     pub wall_ms: u64,
+    /// End-to-end wall time of the whole run, nanoseconds — the same
+    /// measurement as `wall_ms` without the millisecond floor, so smoke
+    /// points (sub-ms) and curve ratios stay meaningful.
+    #[serde(default)]
+    pub wall_ns: u64,
+    /// Queue-drain retries answered from a decision snapshot during the
+    /// run (`GTS_DECISION_REPLAY`, DESIGN.md §12).
+    #[serde(default)]
+    pub replay_hits: u64,
+    /// Shards re-evaluated by partial replays during the run.
+    #[serde(default)]
+    pub replay_shards_reeval: u64,
+    /// Snapshots present but unusable (guard mismatch) during the run.
+    #[serde(default)]
+    pub replay_full_fallbacks: u64,
+}
+
+/// Where one instrumented `sim/large_cached`-shaped run spends its wall
+/// time, as fractions of the end-to-end wall (`gts bench`). `drain`
+/// contains `decision` (decisions happen inside queue drains); the four
+/// shares therefore do not sum to 1 — the remainder outside
+/// refresh+heap+drain is event bookkeeping.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct PhaseShares {
+    /// Placement decisions (subset of `drain`).
+    pub decision: f64,
+    /// Slowdown re-derivation after event batches.
+    pub refresh: f64,
+    /// Completion-heap maintenance.
+    pub heap: f64,
+    /// `run_scheduler` queue drains, decisions included.
+    pub drain: f64,
 }
 
 /// The `BENCH_sched.json` payload. Deserializable so `gts bench
@@ -89,6 +127,10 @@ pub struct BenchReport {
     /// scheduler's headline win.
     #[serde(default)]
     pub huge_decision_speedup: f64,
+    /// Phase-time shares of one instrumented `sim/large_cached`-shaped
+    /// run (all-zero in reports written before phase timing existed).
+    #[serde(default)]
+    pub phase_shares: PhaseShares,
     /// Machines-vs-decision-latency samples from `gts bench scale-curve`
     /// (empty until that subcommand merges them in).
     #[serde(default)]
@@ -283,13 +325,24 @@ pub fn run(smoke: bool) -> BenchReport {
         });
     }
 
-    // One instrumented cached run for the hit rate (not timed).
+    // One instrumented cached run for the hit rate and the phase-time
+    // breakdown (not timed by criterion; its own wall clock normalizes
+    // the shares).
     let stats_config = SimConfig::new(Policy::new(PolicyKind::TopoAware))
         .with_eval(engine)
         .with_incremental(true)
-        .with_eval_cache(true);
+        .with_eval_cache(true)
+        .with_phase_timing(true);
+    let stats_started = std::time::Instant::now();
     let (_, loop_stats) = Simulation::new(cluster, profiles, stats_config)
         .run_with_stats(trace);
+    let stats_wall_ns = stats_started.elapsed().as_nanos().max(1) as f64;
+    let phase_shares = PhaseShares {
+        decision: loop_stats.phase_decision_ns as f64 / stats_wall_ns,
+        refresh: loop_stats.phase_refresh_ns as f64 / stats_wall_ns,
+        heap: loop_stats.phase_heap_ns as f64 / stats_wall_ns,
+        drain: loop_stats.phase_drain_ns as f64 / stats_wall_ns,
+    };
     let lookups = loop_stats.eval_cache_hits + loop_stats.eval_cache_misses;
     let eval_cache_hit_rate = if lookups == 0 {
         0.0
@@ -317,8 +370,17 @@ pub fn run(smoke: bool) -> BenchReport {
             poisson_trace(huge_machines, (huge_jobs / HUGE_SAMPLES).max(1), 3003 + i as u64)
         })
         .collect();
-    let serial_eval = EvalParams::from_env().with_shard_par(false).with_shard_bound(false);
-    let par_eval = EvalParams::from_env().with_shard_par(true).with_shard_bound(true);
+    // `serial_eval` is the PR 6 A/B baseline: fan-out, bound pruning AND
+    // decision replay pinned off, regardless of ambient knobs. `par_eval`
+    // is the full engine with replay on.
+    let serial_eval = EvalParams::from_env()
+        .with_shard_par(false)
+        .with_shard_bound(false)
+        .with_decision_replay(false);
+    let par_eval = EvalParams::from_env()
+        .with_shard_par(true)
+        .with_shard_bound(true)
+        .with_decision_replay(true);
 
     let mut results: Vec<BenchEntry> = c
         .take_records()
@@ -330,6 +392,7 @@ pub fn run(smoke: bool) -> BenchReport {
             mean_ns: r.mean_ns.min(u64::MAX as u128) as u64,
             min_ns: r.min_ns.min(u64::MAX as u128) as u64,
             samples: r.samples as u64,
+            p99_ns: 0,
         })
         .collect();
     for (label, shards, eval) in [
@@ -337,29 +400,35 @@ pub fn run(smoke: bool) -> BenchReport {
         ("huge_sharded", huge_racks, serial_eval),
         ("huge_par", huge_racks, par_eval),
     ] {
-        let runs: Vec<(u64, u64)> = huge_traces
+        let runs: Vec<SimRun> = huge_traces
             .iter()
             .map(|t| sharded_sim(&huge_cluster, &huge_profiles, t, shards, eval))
             .collect();
-        let stat = |pick: fn(&(u64, u64)) -> u64| {
+        let stat = |pick: fn(&SimRun) -> u64| {
             let vals: Vec<u64> = runs.iter().map(pick).collect();
             let mean = vals.iter().sum::<u64>() / vals.len() as u64;
             let min = *vals.iter().min().expect("at least one run");
             (mean, min)
         };
-        let (wall_mean, wall_min) = stat(|r| r.0);
-        let (dec_mean, dec_min) = stat(|r| r.1);
+        let (wall_mean, wall_min) = stat(|r| r.wall_ns);
+        let (dec_mean, dec_min) = stat(|r| r.mean_decision_ns);
+        // Worst per-run p99: the decision-latency tail across every
+        // sampled trace, not a tail of means.
+        let dec_p99 =
+            runs.iter().map(|r| r.decision_p99_ns).max().expect("at least one run");
         results.push(BenchEntry {
             label: format!("sim/{label}"),
             mean_ns: wall_mean,
             min_ns: wall_min,
             samples: runs.len() as u64,
+            p99_ns: 0,
         });
         results.push(BenchEntry {
             label: format!("decision/{label}"),
             mean_ns: dec_mean,
             min_ns: dec_min,
             samples: runs.len() as u64,
+            p99_ns: dec_p99,
         });
     }
     results.sort_by(|a, b| a.label.cmp(&b.label));
@@ -373,6 +442,7 @@ pub fn run(smoke: bool) -> BenchReport {
         sim_cache_speedup: 0.0,
         eval_cache_hit_rate,
         huge_decision_speedup: 0.0,
+        phase_shares,
         scale_curve: Vec::new(),
         results,
     };
@@ -419,25 +489,42 @@ fn poisson_trace(n_machines: usize, n_jobs: usize, seed: u64) -> Vec<JobSpec> {
     WorkloadGenerator::new(gen, seed).generate(n_jobs)
 }
 
+/// Timings and loop counters from one [`sharded_sim`] run.
+struct SimRun {
+    /// End-to-end wall time, nanoseconds.
+    wall_ns: u64,
+    /// `SimResult::mean_decision_s` in nanoseconds.
+    mean_decision_ns: u64,
+    /// `SimLoopStats::decision_p99_ns` — the per-decision tail.
+    decision_p99_ns: u64,
+    /// The run's event-loop counters (replay activity, phase splits).
+    stats: SimLoopStats,
+}
+
 /// One full simulation with an explicit shard count and evaluation
-/// parameters, returning `(wall_ns, mean_decision_ns)`.
+/// parameters, instrumented.
 fn sharded_sim(
     cluster: &Arc<ClusterTopology>,
     profiles: &Arc<ProfileLibrary>,
     trace: &[JobSpec],
     shards: usize,
     eval: EvalParams,
-) -> (u64, u64) {
+) -> SimRun {
     let config = SimConfig::new(Policy::new(PolicyKind::TopoAware))
         .with_eval(eval)
         .with_incremental(true)
         .with_eval_cache(true)
         .with_shards(shards);
     let started = std::time::Instant::now();
-    let result = Simulation::new(Arc::clone(cluster), Arc::clone(profiles), config)
-        .run(trace.to_vec());
+    let (result, stats) = Simulation::new(Arc::clone(cluster), Arc::clone(profiles), config)
+        .run_with_stats(trace.to_vec());
     let wall_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-    (wall_ns, (result.mean_decision_s * 1e9).round() as u64)
+    SimRun {
+        wall_ns,
+        mean_decision_ns: (result.mean_decision_s * 1e9).round() as u64,
+        decision_p99_ns: stats.decision_p99_ns,
+        stats,
+    }
 }
 
 /// Runs the sharded scheduler across a sweep of cluster sizes and returns
@@ -459,14 +546,18 @@ pub fn scale_curve(smoke: bool) -> Vec<ScalePoint> {
             let (cluster, profiles) = racked_minsky_cluster(n_racks, per_rack);
             let jobs = machines * jobs_per_machine;
             let trace = poisson_trace(machines, jobs, 3003);
-            let (wall_ns, mean_decision_ns) =
+            let run =
                 sharded_sim(&cluster, &profiles, &trace, n_racks, EvalParams::from_env());
             ScalePoint {
                 machines: machines as u64,
                 shards: n_racks as u64,
                 jobs: jobs as u64,
-                mean_decision_ns,
-                wall_ms: wall_ns / 1_000_000,
+                mean_decision_ns: run.mean_decision_ns,
+                wall_ms: run.wall_ns / 1_000_000,
+                wall_ns: run.wall_ns,
+                replay_hits: run.stats.replay_hits,
+                replay_shards_reeval: run.stats.replay_shards_reeval,
+                replay_full_fallbacks: run.stats.replay_full_fallbacks,
             }
         })
         .collect()
@@ -505,12 +596,25 @@ mod tests {
             );
         }
         // The huge decision latencies feed huge_decision_speedup — they
-        // must aggregate several independent runs, not trust one sample.
+        // must aggregate several independent runs, not trust one sample,
+        // and carry the per-decision tail alongside the mean.
         for label in ["decision/huge_single", "decision/huge_sharded", "decision/huge_par"] {
             let entry = report.results.iter().find(|e| e.label == label).unwrap();
             assert!(entry.samples >= 5, "{label} ran {} samples, need ≥ 5", entry.samples);
             assert!(entry.min_ns <= entry.mean_ns, "{label} min above mean");
+            assert!(entry.p99_ns > 0, "{label} missing its p99 tail");
+            assert!(entry.p99_ns >= entry.min_ns, "{label} p99 below min");
         }
+        // Phase shares come from the instrumented run: decisions happen
+        // inside drains, and every share is a fraction of the wall.
+        let ps = report.phase_shares;
+        for (name, share) in
+            [("decision", ps.decision), ("refresh", ps.refresh), ("heap", ps.heap), ("drain", ps.drain)]
+        {
+            assert!((0.0..=1.0).contains(&share), "phase share {name} = {share} not a fraction");
+        }
+        assert!(ps.drain > 0.0, "the instrumented run must meter its drains");
+        assert!(ps.drain >= ps.decision, "decisions happen inside drains");
         assert!(report.arrival_speedup > 0.0);
         assert!(report.sim_loop_speedup > 0.0);
         assert!(report.warm_arrival_speedup > 0.0);
@@ -542,6 +646,10 @@ mod tests {
             jobs: 64,
             mean_decision_ns: 1,
             wall_ms: 1,
+            wall_ns: 1_000_000,
+            replay_hits: 0,
+            replay_shards_reeval: 0,
+            replay_full_fallbacks: 0,
         }];
         let merged = BenchReport::from_json(&back.to_json()).expect("merged round-trips");
         assert_eq!(merged.scale_curve.len(), 1);
@@ -561,6 +669,17 @@ mod tests {
             assert_eq!(p.machines % p.shards, 0, "shards must tile the cluster");
             assert!(p.jobs > 0);
             assert!(p.mean_decision_ns > 0, "decision latency unmeasured at {}", p.machines);
+            assert!(p.wall_ns > 0, "wall unmeasured at {}", p.machines);
+            assert_eq!(p.wall_ms, p.wall_ns / 1_000_000, "wall_ms must floor wall_ns");
+        }
+        // The saturated curve regime drains queues across completions, so
+        // decision replay must actually fire somewhere in the sweep
+        // (ambient GTS_DECISION_REPLAY=0 legs pin it off and skip this).
+        if EvalParams::from_env().decision_replay {
+            assert!(
+                points.iter().any(|p| p.replay_hits > 0),
+                "no scale-curve point saw a replay hit"
+            );
         }
     }
 

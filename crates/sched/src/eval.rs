@@ -34,7 +34,7 @@ use crate::oracle::{placement_utility, StateOracle};
 use crate::state::{ClusterState, MachineClassKey};
 use gts_job::{BatchClass, JobGraph, JobSpec, NnModel};
 use gts_map::{drb_map, PlacementOracle as _, UtilityWeights};
-use gts_topo::{GpuId, MachineId};
+use gts_topo::{GlobalGpuId, GpuId, MachineId};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,18 +61,33 @@ pub struct EvalParams {
     /// uncompetitive (`GTS_SHARD_BOUND`, default on). Exact
     /// branch-and-bound: results are bit-identical either way.
     pub shard_bound: bool,
+    /// Replay whole decisions across events from the per-job-class decision
+    /// snapshot, re-evaluating only the shards whose version stamps moved
+    /// (`GTS_DECISION_REPLAY`, default on; DESIGN.md §12). Off restores the
+    /// PR 7 per-decision path. Results are bit-identical either way.
+    pub decision_replay: bool,
 }
 
 impl EvalParams {
     /// The sequential reference: candidates evaluated one by one, no
     /// memoization, no worker pool.
     pub fn sequential() -> Self {
-        Self { threads: 1, shard_par: shard_par_env(), shard_bound: shard_bound_env() }
+        Self {
+            threads: 1,
+            shard_par: shard_par_env(),
+            shard_bound: shard_bound_env(),
+            decision_replay: decision_replay_env(),
+        }
     }
 
     /// The engine with an explicit worker count (`≥ 2`; clamped up).
     pub fn parallel(threads: usize) -> Self {
-        Self { threads: threads.max(2), shard_par: shard_par_env(), shard_bound: shard_bound_env() }
+        Self {
+            threads: threads.max(2),
+            shard_par: shard_par_env(),
+            shard_bound: shard_bound_env(),
+            decision_replay: decision_replay_env(),
+        }
     }
 
     /// Reads `GTS_EVAL_THREADS` (cached after the first read). Unset or
@@ -90,7 +105,12 @@ impl EvalParams {
                 Err(_) => default_threads(),
             }
         });
-        Self { threads, shard_par: shard_par_env(), shard_bound: shard_bound_env() }
+        Self {
+            threads,
+            shard_par: shard_par_env(),
+            shard_bound: shard_bound_env(),
+            decision_replay: decision_replay_env(),
+        }
     }
 
     /// True when this selects the sequential reference path.
@@ -109,6 +129,12 @@ impl EvalParams {
         self.shard_bound = on;
         self
     }
+
+    /// Overrides the decision-replay knob (for in-process A/B testing).
+    pub fn with_decision_replay(mut self, on: bool) -> Self {
+        self.decision_replay = on;
+        self
+    }
 }
 
 /// `GTS_SHARD_PAR` (cached): `0`/`off`/`false` disable the parallel shard
@@ -123,6 +149,14 @@ fn shard_par_env() -> bool {
 fn shard_bound_env() -> bool {
     static CACHED: OnceLock<bool> = OnceLock::new();
     *CACHED.get_or_init(|| parse_on_by_default(std::env::var("GTS_SHARD_BOUND").ok().as_deref()))
+}
+
+/// `GTS_DECISION_REPLAY` (cached): `0`/`off`/`false` disable cross-event
+/// decision replay; anything else (including unset) leaves it on.
+fn decision_replay_env() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED
+        .get_or_init(|| parse_on_by_default(std::env::var("GTS_DECISION_REPLAY").ok().as_deref()))
 }
 
 fn parse_on_by_default(raw: Option<&str>) -> bool {
@@ -149,14 +183,17 @@ pub(crate) enum CandidateOutcome {
     NoMapping,
     /// A mapping exists but violates the §4.3 bandwidth constraint.
     RejectedBandwidth {
-        /// The rejected GPU pick.
-        gpus: Vec<GpuId>,
+        /// The rejected GPU pick (shared: outcomes are cloned between
+        /// the cross-event cache, shard memo entries and repairs, so the
+        /// pick is refcounted rather than reallocated per clone).
+        gpus: Arc<[GpuId]>,
     },
     /// A feasible placement with its Eq. 2 utility and Eq. 5
     /// fragmentation-after.
     Feasible {
-        /// Machine-local GPUs, in task order.
-        gpus: Vec<GpuId>,
+        /// Machine-local GPUs, in task order (shared; see
+        /// [`CandidateOutcome::RejectedBandwidth`]).
+        gpus: Arc<[GpuId]>,
         /// Normalized Eq. 2 utility.
         utility: f64,
         /// Eq. 5 fragmentation the machine would be left with.
@@ -294,6 +331,20 @@ impl EvalCacheStats {
     }
 }
 
+/// Cross-event decision-replay counters (`GTS_DECISION_REPLAY`,
+/// DESIGN.md §12), read at any point of a run via
+/// [`crate::Scheduler::decision_replay_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionReplayStats {
+    /// Retries answered from a snapshot (full or partial replay).
+    pub hits: u64,
+    /// Shards re-evaluated by partial replays; everything else was reused.
+    pub shards_reeval: u64,
+    /// Snapshots present but unusable (epoch/guard mismatch) — the
+    /// decision fell back to the full path.
+    pub full_fallbacks: u64,
+}
+
 const NIL: usize = usize::MAX;
 
 /// One shard: a hash map into a slab threaded with an intrusive
@@ -397,6 +448,14 @@ pub struct EvalCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Queue-drain retries answered wholesale from a decision snapshot
+    /// (nothing moved anywhere — O(1) replay, zero shards touched).
+    replay_hits: AtomicU64,
+    /// Shards re-evaluated by partial replays (everything else reused).
+    replay_shards_reeval: AtomicU64,
+    /// Snapshots present but unusable (epoch or guard mismatch), falling
+    /// back to the full decision path.
+    replay_full_fallbacks: AtomicU64,
 }
 
 /// One state-shard's fully grouped evaluation for one job class: the
@@ -452,6 +511,67 @@ pub(crate) struct ShardSlot {
     pub value: Option<Arc<ShardClassed>>,
 }
 
+/// How the last snapshotted decision for a job class resolved one shard.
+/// `Evaluated` carries no entry of its own: the per-shard [`ShardSlot`] in
+/// the same row holds it (stored and guarded together, under one lock).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) enum SnapState {
+    /// The shard failed admission (no machine wide enough for the job).
+    #[default]
+    NotAdmitted,
+    /// The shard was fully evaluated; its entry sits in the row's slot.
+    Evaluated,
+    /// The shard was branch-and-bound pruned under this admissible bound.
+    Pruned {
+        /// The exact [`crate::bound::ShardBoundCtx`] bound at prune time —
+        /// still the live bound while the shard's version is unchanged
+        /// (every bound input is pinned by the `(epoch, version)` pair).
+        bound: f64,
+    },
+}
+
+/// A whole-decision snapshot for one job class (DESIGN.md §12): the
+/// per-shard version vector captured at decision time, how each shard
+/// resolved, and the decision itself. A retry whose live `(epoch, total
+/// version)` stamps match replays the decision in O(1); a partial match
+/// re-evaluates only the shards whose version moved, reusing everything
+/// else (the per-shard states stay valid because every eval-relevant
+/// mutation bumps the touched shard's version — the same funnel argument
+/// that guards the shard memo).
+///
+/// `min_utility` and `single_node` are *not* part of [`JobClassKey`] (the
+/// per-candidate evaluation never reads them) but do steer the selection
+/// window, bound pruning and the spill fallthrough — so the snapshot
+/// carries them as guards and a mismatch falls back to the full path.
+#[derive(Debug, Default)]
+pub(crate) struct DecisionSnap {
+    /// The shard index epoch the snapshot was taken under.
+    pub epoch: u64,
+    /// Sum of per-shard versions at decision time (O(1) full-match probe).
+    pub total_version: u64,
+    /// Per-shard versions at decision time, indexed by shard.
+    pub versions: Vec<u64>,
+    /// Per-shard resolution at decision time, indexed by shard.
+    pub states: Vec<SnapState>,
+    /// `job.min_utility` bits at decision time (guard).
+    pub min_utility_bits: u64,
+    /// `job.constraints.single_node` at decision time (guard).
+    pub single_node: bool,
+    /// The decision the full path produced: granted GPUs and utility, or
+    /// `None` when nothing (including the spill fallthrough) placed.
+    pub decision: Option<(Vec<GlobalGpuId>, f64)>,
+}
+
+/// One job class's row in the shard memo: the per-shard slots plus the
+/// whole-decision snapshot, guarded together under the memo lock.
+#[derive(Default)]
+pub(crate) struct MemoRow {
+    /// Per state-shard memo slots, indexed by shard.
+    pub slots: Box<[ShardSlot]>,
+    /// The last decision snapshot for this class (replay path), if any.
+    pub snap: Option<DecisionSnap>,
+}
+
 /// FNV-1a for the scheduler-internal hash maps (the shard memo and the
 /// per-shard LRU maps). Their keys are hashed on the per-decision hot
 /// path, where the default SipHash's DoS resistance buys nothing (keys
@@ -479,13 +599,12 @@ impl std::hash::Hasher for FnvHasher {
     }
 }
 
-/// The shard memo, inverted: one row of per-shard slots per job class.
-/// A decision probes every admitted shard with the *same* job class, so
-/// this layout pays one lock and one key hash per decision and then a
-/// plain indexed version compare per shard, instead of a keyed map probe
-/// (lock + hash + equality) per shard.
-type ShardMemoMap =
-    HashMap<JobClassKey, Box<[ShardSlot]>, std::hash::BuildHasherDefault<FnvHasher>>;
+/// The shard memo, inverted: one row of per-shard slots (plus the decision
+/// snapshot) per job class. A decision probes every admitted shard with the
+/// *same* job class, so this layout pays one lock and one key hash per
+/// decision and then a plain indexed version compare per shard, instead of
+/// a keyed map probe (lock + hash + equality) per shard.
+type ShardMemoMap = HashMap<JobClassKey, MemoRow, std::hash::BuildHasherDefault<FnvHasher>>;
 
 /// Safety valve on distinct job-class rows in the memo. Real traces carry
 /// a few dozen job classes, so this is far above steady state.
@@ -508,28 +627,32 @@ impl EvalCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            replay_hits: AtomicU64::new(0),
+            replay_shards_reeval: AtomicU64::new(0),
+            replay_full_fallbacks: AtomicU64::new(0),
         }
     }
 
-    /// Runs `f` over the per-shard memo slot row for `job`, creating (or
-    /// re-sizing) the row on first touch — one lock and one key hash per
-    /// call no matter how many shards the caller then reads or writes.
-    /// Past [`SHARD_MEMO_CAP`] distinct job classes the memo is cleared
-    /// wholesale; a row whose length disagrees with `n_shards` (the shard
-    /// layout changed, which also advances the epoch) is reset empty.
-    pub(crate) fn with_shard_slots<R>(
+    /// Runs `f` over the memo row (per-shard slots + decision snapshot) for
+    /// `job`, creating (or re-sizing) the row on first touch — one lock and
+    /// one key hash per call no matter how many shards the caller then
+    /// reads or writes. Past [`SHARD_MEMO_CAP`] distinct job classes the
+    /// memo is cleared wholesale; a row whose slot count disagrees with
+    /// `n_shards` (the shard layout changed, which also advances the epoch)
+    /// is reset empty, snapshot included.
+    pub(crate) fn with_memo_row<R>(
         &self,
         job: &JobClassKey,
         n_shards: usize,
-        f: impl FnOnce(&mut [ShardSlot]) -> R,
+        f: impl FnOnce(&mut MemoRow) -> R,
     ) -> R {
         let mut memo = self.shard_memo.lock().expect("shard memo poisoned");
-        if memo.get(job).is_none_or(|row| row.len() != n_shards) {
+        if memo.get(job).is_none_or(|row| row.slots.len() != n_shards) {
             if memo.len() >= SHARD_MEMO_CAP {
                 memo.clear();
             }
-            let row: Box<[ShardSlot]> = (0..n_shards).map(|_| ShardSlot::default()).collect();
-            memo.insert(job.clone(), row);
+            let slots: Box<[ShardSlot]> = (0..n_shards).map(|_| ShardSlot::default()).collect();
+            memo.insert(job.clone(), MemoRow { slots, snap: None });
         }
         f(memo.get_mut(job).expect("row ensured above"))
     }
@@ -541,16 +664,20 @@ impl EvalCache {
         Self::with_capacity(cache_env().unwrap_or(DEFAULT_CACHE_CAPACITY))
     }
 
-    /// One cache per shard for the two-level decision path, each with the
-    /// full `GTS_EVAL_CACHE` capacity. Splitting one budget across shards
-    /// was measurably worse: every shard has to learn every (machine
-    /// class, job class) pair independently, so fractional capacities
-    /// churn under LRU pressure exactly when the shard count grows. Keys
-    /// are pure functions of state, so which shard's cache answers a
-    /// lookup never affects the bits it returns.
+    /// The cache vector for the two-level decision path: one cache shared
+    /// by every shard, with the per-shard `GTS_EVAL_CACHE` capacity scaled
+    /// by the shard count (the same total budget a cache-per-shard split
+    /// would claim). Sharing matters because machine-class keys recur
+    /// across shards — an idle machine's key is the same in every rack —
+    /// and per-shard caches made every shard learn every (machine class,
+    /// job class) pair independently, multiplying first-touch DRB
+    /// evaluations by the shard count. Keys are pure functions of state,
+    /// so cache placement never affects the bits a lookup returns; the
+    /// internal 8-way mutex sharding keeps parallel evaluators from
+    /// serializing on it.
     pub fn from_env_per_shard(n_shards: usize) -> Vec<Self> {
         let capacity = cache_env().unwrap_or(DEFAULT_CACHE_CAPACITY);
-        (0..n_shards.max(1)).map(|_| Self::with_capacity(capacity)).collect()
+        vec![Self::with_capacity(capacity.saturating_mul(n_shards.max(1)))]
     }
 
     /// Whether `GTS_EVAL_CACHE` leaves the cache enabled (anything but
@@ -566,6 +693,30 @@ impl EvalCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Decision-replay counters so far.
+    pub fn replay_stats(&self) -> DecisionReplayStats {
+        DecisionReplayStats {
+            hits: self.replay_hits.load(Ordering::Relaxed),
+            shards_reeval: self.replay_shards_reeval.load(Ordering::Relaxed),
+            full_fallbacks: self.replay_full_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts one retry answered from a snapshot.
+    pub(crate) fn note_replay_hit(&self) {
+        self.replay_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` shards re-evaluated by a partial replay.
+    pub(crate) fn note_replay_reeval(&self, n: u64) {
+        self.replay_shards_reeval.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one snapshot that was present but unusable.
+    pub(crate) fn note_replay_fallback(&self) {
+        self.replay_full_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -610,11 +761,11 @@ fn evaluate_one(
         return CandidateOutcome::NoMapping;
     };
     if !state.fits_bw(machine, &gpus, job.bw_demand_gbs) {
-        return CandidateOutcome::RejectedBandwidth { gpus };
+        return CandidateOutcome::RejectedBandwidth { gpus: gpus.into() };
     }
     let frag_after = oracle.fragmentation_after(&gpus);
     let utility = placement_utility(state, machine, job, &gpus, weights);
-    CandidateOutcome::Feasible { gpus, utility, frag_after }
+    CandidateOutcome::Feasible { gpus: gpus.into(), utility, frag_after }
 }
 
 /// Resolves one candidate machine's outcome the way a fresh
@@ -1145,30 +1296,44 @@ mod tests {
             contenders: vec![0],
         });
         let key = JobClassKey::of(&j, weights).expect("plain job is keyable");
-        cache.with_shard_slots(&key, 2, |slots| {
-            assert_eq!(slots.len(), 2, "row sized to the shard count");
-            assert!(slots[0].value.is_none(), "empty memo has no entry");
-            slots[0] = ShardSlot { epoch: 7, version: 3, value: Some(Arc::clone(&entry)) };
+        cache.with_memo_row(&key, 2, |row| {
+            assert_eq!(row.slots.len(), 2, "row sized to the shard count");
+            assert!(row.slots[0].value.is_none(), "empty memo has no entry");
+            assert!(row.snap.is_none(), "fresh row has no decision snapshot");
+            row.slots[0] = ShardSlot { epoch: 7, version: 3, value: Some(Arc::clone(&entry)) };
+            row.snap = Some(DecisionSnap {
+                epoch: 7,
+                total_version: 3,
+                versions: vec![3, 0],
+                states: vec![SnapState::Evaluated, SnapState::NotAdmitted],
+                min_utility_bits: 0.5f64.to_bits(),
+                single_node: false,
+                decision: None,
+            });
         });
-        cache.with_shard_slots(&key, 2, |slots| {
-            let hit = &slots[0];
+        cache.with_memo_row(&key, 2, |row| {
+            let hit = &row.slots[0];
             assert_eq!((hit.epoch, hit.version), (7, 3), "guard pair round-trips");
             let v = hit.value.as_ref().expect("filled slot persists");
             assert!(Arc::ptr_eq(v, &entry), "the stored Arc itself comes back");
             assert_eq!(v.u_max.to_bits(), entry.u_max.to_bits());
             assert_eq!(v.contenders, entry.contenders);
-            assert!(slots[1].value.is_none(), "entries are per state-shard");
+            assert!(row.slots[1].value.is_none(), "entries are per state-shard");
+            let snap = row.snap.as_ref().expect("snapshot persists with the row");
+            assert_eq!((snap.epoch, snap.total_version), (7, 3));
+            assert_eq!(snap.states, vec![SnapState::Evaluated, SnapState::NotAdmitted]);
         });
         let other = JobClassKey::of(&job(1, 3), weights).expect("keyable");
-        cache.with_shard_slots(&other, 2, |slots| {
-            assert!(slots[0].value.is_none(), "a different job class has its own row");
+        cache.with_memo_row(&other, 2, |row| {
+            assert!(row.slots[0].value.is_none(), "a different job class has its own row");
         });
-        cache.with_shard_slots(&key, 3, |slots| {
-            assert_eq!(slots.len(), 3);
+        cache.with_memo_row(&key, 3, |row| {
+            assert_eq!(row.slots.len(), 3);
             assert!(
-                slots.iter().all(|s| s.value.is_none()),
+                row.slots.iter().all(|s| s.value.is_none()),
                 "a shard-count change resets the row"
             );
+            assert!(row.snap.is_none(), "a shard-count change drops the snapshot");
         });
         // Uncacheable jobs (explicit comm graph) have no class key, so the
         // caller can never reach the memo for them.

@@ -36,7 +36,7 @@ pub mod trace;
 
 pub use bound::ShardBoundCtx;
 pub use enforcement::{launch_plan, LaunchPlan};
-pub use eval::{EvalCache, EvalCacheStats, EvalParams};
+pub use eval::{DecisionReplayStats, EvalCache, EvalCacheStats, EvalParams};
 pub use oracle::StateOracle;
 pub use overhead::DecisionStats;
 pub use policy::{Policy, PolicyKind};

@@ -51,6 +51,20 @@ impl DecisionStats {
     pub fn mean_s(&self) -> f64 {
         self.mean().as_secs_f64()
     }
+
+    /// 99th-percentile latency (zero when empty): the sample at the
+    /// ceil(0.99·n)-th rank of the sorted latencies — the tail a mean
+    /// hides when most retries replay in O(1) and a few pay a full
+    /// decision.
+    pub fn p99(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = (self.samples.len() * 99).div_ceil(100);
+        sorted[rank.saturating_sub(1)]
+    }
 }
 
 #[cfg(test)]
@@ -75,5 +89,32 @@ mod tests {
         assert_eq!(s.mean(), Duration::from_millis(20));
         assert_eq!(s.max(), Duration::from_millis(30));
         assert_eq!(s.total(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn p99_tracks_the_tail_not_the_mean() {
+        assert_eq!(DecisionStats::new().p99(), Duration::ZERO);
+        let mut s = DecisionStats::new();
+        s.record(Duration::from_millis(5));
+        assert_eq!(s.p99(), Duration::from_millis(5), "one sample is its own p99");
+        // 99 fast samples + 1 slow: p99 lands on the 99th rank (fast),
+        // 100 fast + 1 slower set lands on the slow tail at 199/200.
+        let mut s = DecisionStats::new();
+        for _ in 0..199 {
+            s.record(Duration::from_micros(10));
+        }
+        s.record(Duration::from_millis(50));
+        // rank = ceil(200*0.99) = 198 → still a fast sample.
+        assert_eq!(s.p99(), Duration::from_micros(10));
+        let mut s = DecisionStats::new();
+        for _ in 0..99 {
+            s.record(Duration::from_micros(10));
+        }
+        s.record(Duration::from_millis(50));
+        // rank = ceil(100*0.99) = 99 → fast; add one more slow sample and
+        // rank ceil(101*0.99) = 100 → the tail shows up.
+        assert_eq!(s.p99(), Duration::from_micros(10));
+        s.record(Duration::from_millis(50));
+        assert_eq!(s.p99(), Duration::from_millis(50));
     }
 }

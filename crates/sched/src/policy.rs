@@ -16,8 +16,8 @@
 use crate::bound::ShardBoundCtx;
 use crate::eval::{
     evaluate_topo_candidates, evaluate_topo_classes, resolve_candidate_outcome, run_indexed,
-    CandidateOutcome, ClassedOutcomes, EvalCache, EvalParams, JobClassKey, ShardClassed,
-    ShardSlot,
+    CandidateOutcome, ClassedOutcomes, EvalCache, EvalParams, JobClassKey, MemoRow,
+    ShardClassed, ShardSlot, SnapState,
 };
 use crate::oracle::{placement_components, placement_utility, StateOracle};
 use crate::shard::ShardIndex;
@@ -436,6 +436,21 @@ impl Policy {
         let n = job.n_gpus as usize;
         let shards = state.shards();
         let graph = JobGraph::from_spec(job);
+        // One key for the whole decision: the memo probe, the replay
+        // snapshot and the class-cache lookups all share it.
+        let job_key = JobClassKey::of(job, self.weights);
+
+        // Level 0: cross-event decision replay (DESIGN.md §12). A queue
+        // retry whose snapshot guards hold re-evaluates only the shards
+        // whose version stamps moved since the last decision for this job
+        // class; `None` falls through to the full path below.
+        if params.decision_replay {
+            if let (Some(cs), Some(k)) = (caches, job_key.as_ref()) {
+                if let Some(replayed) = self.try_replay(state, job, &graph, n, params, cs, k) {
+                    return replayed;
+                }
+            }
+        }
 
         ADMITTED_SCRATCH.with(|cell| {
             // Level 1: global admission over the cached per-shard
@@ -463,14 +478,13 @@ impl Policy {
             // evaluation. Indexed like `hit`.
             let mut stale: Vec<Option<Arc<ShardClassed>>> = vec![None; admitted.len()];
             let mut u_floor = f64::NEG_INFINITY;
-            // One key, one memo lock and one row probe for the whole
-            // decision; each admitted shard then costs a plain indexed
-            // `(epoch, version)` compare against its slot.
-            let job_key = JobClassKey::of(job, self.weights);
+            // One memo lock and one row probe for the whole decision; each
+            // admitted shard then costs a plain indexed `(epoch, version)`
+            // compare against its slot.
             if let (Some(cs), Some(k)) = (caches, job_key.as_ref()) {
-                cs[0].with_shard_slots(k, shards.n_shards(), |slots| {
+                cs[0].with_memo_row(k, shards.n_shards(), |row| {
                     for (i, &s) in admitted.iter().enumerate() {
-                        let slot = &slots[s];
+                        let slot = &row.slots[s];
                         match &slot.value {
                             Some(v)
                                 if slot.epoch == shards.epoch()
@@ -568,11 +582,11 @@ impl Policy {
             // shard order throughout, exactly the flat scan's visit order.
             let mut retired: Vec<Arc<ShardClassed>> = Vec::with_capacity(fresh.len());
             let decision = if let (Some(cs), Some(k)) = (caches, job_key.as_ref()) {
-                cs[0].with_shard_slots(k, shards.n_shards(), |slots| {
+                cs[0].with_memo_row(k, shards.n_shards(), |row| {
                     for (i, entry) in &fresh {
                         let s = admitted[*i];
                         let prev = std::mem::replace(
-                            &mut slots[s],
+                            &mut row.slots[s],
                             ShardSlot {
                                 epoch: shards.epoch(),
                                 version: shards.version(s),
@@ -588,21 +602,43 @@ impl Policy {
                     for (i, &s) in admitted.iter().enumerate() {
                         if hit[i] {
                             let entry =
-                                slots[s].value.as_deref().expect("hit slots hold entries");
+                                row.slots[s].value.as_deref().expect("hit slots hold entries");
                             debug_assert_shard_memo_matches(
                                 state, job, &graph, self.weights, s, n, params, entry,
                             );
                         }
                     }
-                    let entries: Vec<&ShardClassed> = admitted
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| hit[i])
-                        .map(|(_, &s)| {
-                            slots[s].value.as_deref().expect("hit slots hold entries")
-                        })
-                        .collect();
-                    self.finish_sharded(state, job, &graph, n, params, admitted, &entries, &pruned)
+                    let decision = {
+                        let entries: Vec<&ShardClassed> = admitted
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| hit[i])
+                            .map(|(_, &s)| {
+                                row.slots[s].value.as_deref().expect("hit slots hold entries")
+                            })
+                            .collect();
+                        self.finish_sharded(
+                            state, job, &graph, n, params, admitted, &entries, &pruned,
+                        )
+                    };
+                    // Snapshot the whole decision for the replay path: how
+                    // every shard resolved, under which version vector, and
+                    // what came out (DESIGN.md §12).
+                    if params.decision_replay {
+                        store_decision_snap(
+                            row,
+                            shards,
+                            job,
+                            admitted
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, _)| hit[i])
+                                .map(|(_, &s)| s),
+                            pruned.iter().map(|&(i, b)| (admitted[i], b)),
+                            decision.as_ref(),
+                        );
+                    }
+                    decision
                 })
             } else {
                 // No memo available: every admitted shard was freshly
@@ -636,6 +672,376 @@ impl Policy {
             }
             decision
         })
+    }
+
+    /// Cross-event decision replay (DESIGN.md §12): answers a queue-drain
+    /// retry from the last decision snapshot for this job class, paying
+    /// only for the shards whose version stamps moved since.
+    ///
+    /// Returns `Some(decision)` when the snapshot answered the retry (the
+    /// decision may itself be `None` — a replayed postponement), or `None`
+    /// when the full path must run (no snapshot yet, or a guard mismatch).
+    ///
+    /// Correctness leans on the version-vector funnel: every eval-relevant
+    /// mutation rebuilds the touched machine's class key, which bumps that
+    /// machine's shard version and the index-wide total. So
+    ///
+    /// * equal `(epoch, total_version)` pins the *entire* cluster state
+    ///   (versions are monotone; an unchanged sum pins every summand) —
+    ///   the stored decision, including `None` and spill outcomes, replays
+    ///   bit-identically in O(1);
+    /// * an unchanged per-shard version pins that shard's aggregates
+    ///   (admission), candidate set, class outcomes and admissible bound —
+    ///   its snapshot resolution is still live, so only mutated shards
+    ///   re-evaluate, seeded with their stale memo entries exactly as the
+    ///   full path would seed a repair;
+    /// * the kept entries' `u_max` fold is a real achieved utility, hence a
+    ///   valid exact branch-and-bound floor ([`bound_prunes`]) for both the
+    ///   mutated shards and the re-test of snapshot-pruned shards (the
+    ///   prune test is monotone in the floor, so one pass is exact).
+    ///
+    /// Debug builds shadow every replayed decision with a full fresh
+    /// decision and assert bit-equality.
+    #[allow(clippy::too_many_arguments)]
+    fn try_replay(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        graph: &JobGraph,
+        n: usize,
+        params: EvalParams,
+        caches: &[EvalCache],
+        job_key: &JobClassKey,
+    ) -> Option<Option<Decision>> {
+        let shards = state.shards();
+        enum Probe {
+            /// No snapshot yet — cold, run the full path (not a fallback).
+            Miss,
+            /// Snapshot present but a guard mismatched — full path.
+            Fallback,
+            /// `(epoch, total_version)` both match: nothing moved anywhere,
+            /// the stored decision is the decision.
+            Full(Option<(Vec<GlobalGpuId>, f64)>),
+            /// Same epoch, some versions moved: re-evaluate only those.
+            Partial {
+                /// Mutated shards + their stale memo entries (repair seeds).
+                mutated: Vec<(usize, Option<Arc<ShardClassed>>)>,
+                /// Unmutated evaluated shards (entries live in the memo).
+                kept: Vec<usize>,
+                /// Unmutated pruned shards: `(shard, stored bound, seed)`.
+                pruned: Vec<(usize, f64, Option<Arc<ShardClassed>>)>,
+                /// `u_max` fold over the kept entries.
+                u_floor: f64,
+            },
+        }
+
+        // Phase A (one lock): diff the live version vector against the
+        // snapshot and classify every shard.
+        let probe = caches[0].with_memo_row(job_key, shards.n_shards(), |row| {
+            let Some(snap) = row.snap.as_ref() else {
+                return Probe::Miss;
+            };
+            if snap.epoch != shards.epoch()
+                || snap.versions.len() != shards.n_shards()
+                || snap.min_utility_bits != job.min_utility.to_bits()
+                || snap.single_node != job.constraints.single_node
+            {
+                return Probe::Fallback;
+            }
+            if snap.total_version == shards.total_version() {
+                return Probe::Full(snap.decision.clone());
+            }
+            let live = shards.versions();
+            let mut mutated = Vec::new();
+            let mut kept = Vec::new();
+            let mut pruned = Vec::new();
+            let mut u_floor = f64::NEG_INFINITY;
+            for (s, &snap_v) in snap.versions.iter().enumerate() {
+                if snap_v != live[s] {
+                    mutated.push((s, row.slots[s].value.as_ref().map(Arc::clone)));
+                    continue;
+                }
+                match snap.states[s] {
+                    SnapState::NotAdmitted => {}
+                    SnapState::Evaluated => {
+                        let slot = &row.slots[s];
+                        match &slot.value {
+                            Some(v)
+                                if slot.epoch == shards.epoch()
+                                    && slot.version == live[s] =>
+                            {
+                                u_floor = u_floor.max(v.u_max);
+                                kept.push(s);
+                            }
+                            // Defensive: the slot no longer carries the
+                            // snapshotted entry (shouldn't happen — slot
+                            // and snapshot update together) — re-evaluate.
+                            other => mutated.push((s, other.as_ref().map(Arc::clone))),
+                        }
+                    }
+                    SnapState::Pruned { bound } => {
+                        pruned.push((s, bound, row.slots[s].value.as_ref().map(Arc::clone)));
+                    }
+                }
+            }
+            Probe::Partial { mutated, kept, pruned, u_floor }
+        });
+
+        let (mut mutated, kept, pruned_snap, mut u_floor) = match probe {
+            Probe::Miss => return None,
+            Probe::Fallback => {
+                caches[0].note_replay_fallback();
+                return None;
+            }
+            Probe::Full(stored) => {
+                caches[0].note_replay_hit();
+                let decision =
+                    stored.map(|(gpus, utility)| Decision { gpus, utility });
+                #[cfg(debug_assertions)]
+                self.debug_assert_replay_matches(state, job, params, &decision);
+                return Some(decision);
+            }
+            Probe::Partial { mutated, kept, pruned, u_floor } => {
+                (mutated, kept, pruned, u_floor)
+            }
+        };
+
+        // Phase B (no lock): re-run admission for the mutated shards only
+        // (an unmutated shard's aggregates are pinned by its version, so
+        // its snapshot admission outcome is still live), then evaluate the
+        // survivors through the full path's bound/repair/fan-out machinery.
+        let total_mutated = mutated.len() as u64;
+        mutated.retain(|&(s, _)| shards.has_capacity(s, n));
+        shards.note_admission(total_mutated, total_mutated - mutated.len() as u64);
+        let (admitted_m, stale_m): (Vec<usize>, Vec<Option<Arc<ShardClassed>>>) =
+            mutated.into_iter().unzip();
+
+        let use_par = params.shard_par && params.threads > 1;
+        // Fresh evaluations keyed by *shard id* (not admitted position).
+        let mut fresh: Vec<(usize, Arc<ShardClassed>)> = Vec::with_capacity(admitted_m.len());
+        let mut cut: Vec<(usize, f64)> = Vec::new();
+        if !admitted_m.is_empty() {
+            if params.shard_bound {
+                let ctx = cached_bound_ctx(state, job, self.weights, shards.epoch());
+                let mut bounded: Vec<(usize, f64)> = (0..admitted_m.len())
+                    .map(|i| (i, ctx.shard_bound(shards, admitted_m[i])))
+                    .collect();
+                bounded.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                if use_par {
+                    let (survivors, dropped): (Vec<_>, Vec<_>) = bounded
+                        .into_iter()
+                        .partition(|&(_, b)| !bound_prunes(b, u_floor, job.min_utility));
+                    cut = dropped.into_iter().map(|(i, b)| (admitted_m[i], b)).collect();
+                    fresh = eval_shard_batch(
+                        state, job, graph, self.weights, shards, &admitted_m, &survivors,
+                        n, params, Some(caches), Some(job_key), &stale_m,
+                    )
+                    .into_iter()
+                    .map(|(i, e)| (admitted_m[i], e))
+                    .collect();
+                    for (_, e) in &fresh {
+                        u_floor = u_floor.max(e.u_max);
+                    }
+                } else {
+                    for (i, bound) in bounded {
+                        if bound_prunes(bound, u_floor, job.min_utility) {
+                            cut.push((admitted_m[i], bound));
+                            continue;
+                        }
+                        let s = admitted_m[i];
+                        let entry = eval_or_repair(
+                            state, job, graph, self.weights, shards, s, n, params,
+                            Some(&caches[s % caches.len()]),
+                            Some(job_key),
+                            stale_m[i].as_ref(),
+                        );
+                        u_floor = u_floor.max(entry.u_max);
+                        fresh.push((s, entry));
+                    }
+                }
+                shards.note_bound(admitted_m.len() as u64, cut.len() as u64);
+            } else if use_par {
+                let all: Vec<(usize, f64)> =
+                    (0..admitted_m.len()).map(|i| (i, 0.0)).collect();
+                fresh = eval_shard_batch(
+                    state, job, graph, self.weights, shards, &admitted_m, &all, n, params,
+                    Some(caches), Some(job_key), &stale_m,
+                )
+                .into_iter()
+                .map(|(i, e)| (admitted_m[i], e))
+                .collect();
+                for (_, e) in &fresh {
+                    u_floor = u_floor.max(e.u_max);
+                }
+            } else {
+                for (i, &s) in admitted_m.iter().enumerate() {
+                    let entry = eval_or_repair(
+                        state, job, graph, self.weights, shards, s, n, params,
+                        Some(&caches[s % caches.len()]),
+                        Some(job_key),
+                        stale_m[i].as_ref(),
+                    );
+                    u_floor = u_floor.max(entry.u_max);
+                    fresh.push((s, entry));
+                }
+            }
+        }
+
+        // Re-test the snapshot-pruned shards against the current floor.
+        // One pass is exact: [`bound_prunes`] is monotone in the floor and
+        // the floor only rises from here, so a shard pruned now stays
+        // prunable at the final floor; one that fails re-evaluates (and
+        // may itself raise the floor — harmless, see above).
+        let mut still_pruned: Vec<(usize, f64)> = Vec::with_capacity(pruned_snap.len());
+        for (s, bound, seed) in pruned_snap {
+            if params.shard_bound && bound_prunes(bound, u_floor, job.min_utility) {
+                still_pruned.push((s, bound));
+                continue;
+            }
+            let entry = eval_or_repair(
+                state, job, graph, self.weights, shards, s, n, params,
+                Some(&caches[s % caches.len()]),
+                Some(job_key),
+                seed.as_ref(),
+            );
+            u_floor = u_floor.max(entry.u_max);
+            fresh.push((s, entry));
+        }
+
+        caches[0].note_replay_hit();
+        caches[0].note_replay_reeval(fresh.len() as u64);
+        drop(stale_m);
+
+        // Phase C (one lock): publish the fresh entries, reassemble the
+        // ascending-shard entry list from kept ∪ fresh, run the reference
+        // selection tail, and refresh the snapshot in place.
+        fresh.sort_unstable_by_key(|&(s, _)| s);
+        let mut retired: Vec<Arc<ShardClassed>> = Vec::with_capacity(fresh.len());
+        let decision = caches[0].with_memo_row(job_key, shards.n_shards(), |row| {
+            for (s, entry) in &fresh {
+                let prev = std::mem::replace(
+                    &mut row.slots[*s],
+                    ShardSlot {
+                        epoch: shards.epoch(),
+                        version: shards.version(*s),
+                        value: Some(Arc::clone(entry)),
+                    },
+                );
+                if let Some(old) = prev.value {
+                    retired.push(old);
+                }
+            }
+            // `kept` ascends (Phase A walks shards in order) and `fresh`
+            // is small (the mutated handful), so sorting just `fresh` and
+            // merging beats sorting the full union; the two sets are
+            // disjoint by construction (a shard is classified exactly
+            // once).
+            let mut used: Vec<usize> = Vec::with_capacity(kept.len() + fresh.len());
+            {
+                let (mut i, mut j) = (0, 0);
+                while i < kept.len() || j < fresh.len() {
+                    if j >= fresh.len() || (i < kept.len() && kept[i] < fresh[j].0) {
+                        used.push(kept[i]);
+                        i += 1;
+                    } else {
+                        used.push(fresh[j].0);
+                        j += 1;
+                    }
+                }
+            }
+            #[cfg(debug_assertions)]
+            for &s in &used {
+                let entry = row.slots[s].value.as_deref().expect("used slots hold entries");
+                debug_assert_shard_memo_matches(
+                    state, job, graph, self.weights, s, n, params, entry,
+                );
+            }
+            // `finish_sharded` wants the admitted-shard list (used ∪
+            // pruned, ascending) with pruned as positions into it — the
+            // same shape the full path hands it. `still_pruned` ascends
+            // (Phase A pushed shards in order and the re-test preserved
+            // it) and is disjoint from `used`, so one merge pass builds
+            // both the list and the pruned positions.
+            let mut admitted: Vec<usize> = Vec::with_capacity(used.len() + still_pruned.len());
+            let mut pruned_ix: Vec<(usize, f64)> = Vec::with_capacity(still_pruned.len());
+            {
+                let (mut i, mut j) = (0, 0);
+                while i < used.len() || j < still_pruned.len() {
+                    if j >= still_pruned.len()
+                        || (i < used.len() && used[i] < still_pruned[j].0)
+                    {
+                        admitted.push(used[i]);
+                        i += 1;
+                    } else {
+                        pruned_ix.push((admitted.len(), still_pruned[j].1));
+                        admitted.push(still_pruned[j].0);
+                        j += 1;
+                    }
+                }
+            }
+            let decision = {
+                let entries: Vec<&ShardClassed> = used
+                    .iter()
+                    .map(|&s| row.slots[s].value.as_deref().expect("used slots hold entries"))
+                    .collect();
+                self.finish_sharded(
+                    state, job, graph, n, params, &admitted, &entries, &pruned_ix,
+                )
+            };
+            store_decision_snap(
+                row,
+                shards,
+                job,
+                used.iter().copied(),
+                still_pruned.iter().copied(),
+                decision.as_ref(),
+            );
+            decision
+        });
+        drop(fresh);
+        if !retired.is_empty() {
+            ENTRY_POOL.with(|p| {
+                let mut pool = p.borrow_mut();
+                for a in retired {
+                    if pool.len() >= ENTRY_POOL_CAP {
+                        break;
+                    }
+                    if let Ok(e) = Arc::try_unwrap(a) {
+                        pool.push(e);
+                    }
+                }
+            });
+        }
+        #[cfg(debug_assertions)]
+        self.debug_assert_replay_matches(state, job, params, &decision);
+        Some(decision)
+    }
+
+    /// Debug shadow behind every replayed decision: re-run the whole
+    /// sharded decision with replay off and no memo (the fresh reference)
+    /// and assert the replay produced bit-identical output.
+    #[cfg(debug_assertions)]
+    fn debug_assert_replay_matches(
+        &self,
+        state: &ClusterState,
+        job: &JobSpec,
+        params: EvalParams,
+        got: &Option<Decision>,
+    ) {
+        let want =
+            self.decide_topo_sharded(state, job, params.with_decision_replay(false), None);
+        match (got, &want) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.gpus, b.gpus, "replayed GPUs diverge from fresh decision");
+                assert_eq!(
+                    a.utility.to_bits(),
+                    b.utility.to_bits(),
+                    "replayed utility diverges from fresh decision"
+                );
+            }
+            _ => panic!("replayed decision {got:?} != fresh decision {want:?}"),
+        }
     }
 
     /// The tail of the two-level decision: fold the selection floor over
@@ -841,6 +1247,7 @@ impl Policy {
     }
 }
 
+
 /// Utilities closer than this are indistinguishable: the Eq. 4 interference
 /// model is only a few percent accurate against the Fig. 6 measurements, so
 /// preferring a machine for a sub-percent utility edge is noise-chasing.
@@ -873,6 +1280,36 @@ thread_local! {
 /// Upper bound on pooled entries — comfortably above the memo-miss shards
 /// of one decision, small enough that an idle pool pins only a few KB.
 const ENTRY_POOL_CAP: usize = 32;
+
+/// Stores (or refreshes, reusing its allocations) the decision snapshot in
+/// `row`: the live version vector, how every shard resolved — default
+/// [`SnapState::NotAdmitted`], overridden for the `evaluated` and `pruned`
+/// shards — the selection guards, and the decision itself (DESIGN.md §12).
+fn store_decision_snap(
+    row: &mut MemoRow,
+    shards: &ShardIndex,
+    job: &JobSpec,
+    evaluated: impl Iterator<Item = usize>,
+    pruned: impl Iterator<Item = (usize, f64)>,
+    decision: Option<&Decision>,
+) {
+    let snap = row.snap.get_or_insert_with(Default::default);
+    snap.epoch = shards.epoch();
+    snap.total_version = shards.total_version();
+    snap.versions.clear();
+    snap.versions.extend_from_slice(shards.versions());
+    snap.states.clear();
+    snap.states.resize(shards.n_shards(), SnapState::NotAdmitted);
+    for s in evaluated {
+        snap.states[s] = SnapState::Evaluated;
+    }
+    for (s, bound) in pruned {
+        snap.states[s] = SnapState::Pruned { bound };
+    }
+    snap.min_utility_bits = job.min_utility.to_bits();
+    snap.single_node = job.constraints.single_node;
+    snap.decision = decision.map(|d| (d.gpus.clone(), d.utility));
+}
 
 /// The exact branch-and-bound prune test: `true` only when *no* candidate
 /// in a shard bounded by `bound` could affect the decision, given that some
@@ -1096,6 +1533,64 @@ fn repair_shard(
         entry.stamps.clear();
         entry.classed.class_of.clear();
         entry.classed.outcomes.clear();
+        // Bulk path for the dominant repair shape: identical candidate
+        // list, a handful of changed stamps. The old vectors copy over
+        // wholesale (outcome clones are refcount bumps) and only the
+        // changed slots resolve, each as its own appended class — exactly
+        // the outcome bits the walk below would assign. Wholesale copy
+        // keeps old orphaned classes, so the path is gated on the outcome
+        // table not yet outgrowing the candidate count; past that the
+        // remap walk below compacts them away, bounding accumulation
+        // across repeated repairs.
+        if same_list && old.classed.outcomes.len() <= old.candidates.len() {
+            entry.candidates.extend_from_slice(&old.candidates);
+            entry.stamps.extend_from_slice(&old.stamps);
+            entry.classed.class_of.extend_from_slice(&old.classed.class_of);
+            entry.classed.outcomes.extend_from_slice(&old.classed.outcomes);
+            let stamps = &mut entry.stamps;
+            let class_of = &mut entry.classed.class_of;
+            let outcomes = &mut entry.classed.outcomes;
+            for (idx, &m) in buf.iter().enumerate() {
+                let stamp = state.key_stamp(m);
+                if old.stamps[idx] == stamp {
+                    continue;
+                }
+                stamps[idx] = stamp;
+                // The prev-key run-join of the walk below compares against
+                // the *previous candidate's live key*; here the previous
+                // candidate's outcome slot is authoritative either way, so
+                // joining when keys match keeps the same bits while
+                // skipping a resolve (idx 0 has no previous candidate).
+                if idx > 0
+                    && state.machine_class_key(buf[idx - 1]) == state.machine_class_key(m)
+                {
+                    class_of[idx] = class_of[idx - 1];
+                } else {
+                    let outcome = resolve_candidate_outcome(
+                        state,
+                        job,
+                        graph,
+                        weights,
+                        m,
+                        state.machine_class_key(m),
+                        job_key,
+                        job_bits,
+                        cache,
+                    );
+                    class_of[idx] = outcomes.len();
+                    outcomes.push(outcome);
+                }
+            }
+            let mut u_max = f64::NEG_INFINITY;
+            for &c in &entry.classed.class_of {
+                if let CandidateOutcome::Feasible { utility, .. } = entry.classed.outcomes[c] {
+                    u_max = u_max.max(utility);
+                }
+            }
+            fold_contenders_into(&entry.classed, u_max, &mut entry.contenders);
+            entry.u_max = u_max;
+            return Arc::new(entry);
+        }
         let stamps = &mut entry.stamps;
         let class_of = &mut entry.classed.class_of;
         let outcomes = &mut entry.classed.outcomes;

@@ -16,7 +16,7 @@
 //! (`gts-proto`), which call [`Scheduler::run_iteration`] whenever a job
 //! arrives or finishes ("wakeup after an event").
 
-use crate::eval::{EvalCache, EvalCacheStats, EvalParams};
+use crate::eval::{DecisionReplayStats, EvalCache, EvalCacheStats, EvalParams};
 use crate::overhead::DecisionStats;
 use crate::policy::Policy;
 use crate::state::{Allocation, ClusterState};
@@ -146,6 +146,13 @@ impl Scheduler {
                 },
             )
         })
+    }
+
+    /// Counters of the cross-event decision-replay path, or `None` when
+    /// the eval cache is disabled (the snapshot lives in its shard memo).
+    /// Only `caches[0]` hosts the memo/snapshot rows, so no fold is needed.
+    pub fn decision_replay_stats(&self) -> Option<DecisionReplayStats> {
+        self.eval_cache.as_ref().and_then(|cs| cs.first()).map(EvalCache::replay_stats)
     }
 
     /// Turns the decision-trace stream on or off. Off by default — tracing

@@ -105,6 +105,11 @@ pub struct ShardIndex {
     /// ([`crate::EvalCache`]); an unchanged pair proves no member's
     /// eval-relevant state moved.
     versions: Vec<u64>,
+    /// Sum of all per-shard version bumps — the O(1) "did *anything*
+    /// eval-relevant move since this stamp?" probe behind the decision
+    /// replay fast path (DESIGN.md §12). Equal totals under an equal epoch
+    /// prove equal per-shard version vectors (versions only ever grow).
+    total_version: u64,
     /// Process-unique id for this index instance, fresh on build *and* on
     /// clone, so two indices can never alias each other's version space
     /// even when their counters coincide.
@@ -140,6 +145,7 @@ impl Clone for ShardIndex {
             free_total: self.free_total.clone(),
             cluster_free: self.cluster_free,
             versions: self.versions.clone(),
+            total_version: self.total_version,
             // A clone diverges from its source from here on; a shared epoch
             // would let both advance the same (epoch, version) pairs with
             // different contents and poison each other's memo entries.
@@ -240,6 +246,7 @@ impl ShardIndex {
             free_total,
             cluster_free,
             versions: vec![0; n_shards],
+            total_version: 0,
             epoch: next_epoch(),
             admission_checked: AtomicU64::new(0),
             admission_skipped: AtomicU64::new(0),
@@ -259,10 +266,23 @@ impl ShardIndex {
         self.versions[shard]
     }
 
+    /// The full per-shard version vector, indexed by shard.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// Total version bumps across every shard. Under an unchanged epoch, an
+    /// unchanged total proves the whole version vector is unchanged —
+    /// versions are monotone, so the sum pins every summand.
+    pub fn total_version(&self) -> u64 {
+        self.total_version
+    }
+
     /// Records that `machine`'s class key was rebuilt, invalidating every
     /// memoized per-shard evaluation of its shard.
     pub fn bump_version(&mut self, machine: MachineId) {
         self.versions[self.shard_of[machine.index()] as usize] += 1;
+        self.total_version += 1;
     }
 
     /// Number of shards (0 only on an empty cluster).
@@ -621,8 +641,11 @@ mod tests {
         idx.bump_version(MachineId(1));
         idx.bump_version(MachineId(2));
         assert_eq!((idx.version(0), idx.version(1)), (2, 1));
+        assert_eq!(idx.versions(), &[2, 1]);
+        assert_eq!(idx.total_version(), 3, "total sums the per-shard bumps");
         let cloned = idx.clone();
         assert_eq!(cloned.version(0), 2, "counters carry over");
+        assert_eq!(cloned.total_version(), 3, "the total carries over too");
         assert_ne!(cloned.epoch(), idx.epoch(), "epochs never alias");
         let rebuilt = ShardIndex::build(&c, ShardSpec::Auto, |_| 4);
         assert_ne!(rebuilt.epoch(), idx.epoch());

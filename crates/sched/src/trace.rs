@@ -155,6 +155,21 @@ pub enum TraceEvent {
         /// Entries displaced by LRU capacity pressure.
         evictions: u64,
     },
+    /// End-of-run counters of the cross-event decision-replay path
+    /// (`GTS_DECISION_REPLAY`, DESIGN.md §12). Appended once by the
+    /// simulator when tracing with nonzero replay activity; absent
+    /// otherwise, so replay-off traces stay comparable event-for-event
+    /// after stripping this variant.
+    DecisionReplayStats {
+        /// Event time, seconds (the run's final clock).
+        t_s: f64,
+        /// Retries answered from a decision snapshot.
+        hits: u64,
+        /// Shards re-evaluated by partial replays.
+        shards_reeval: u64,
+        /// Snapshots present but unusable (guard mismatch).
+        full_fallbacks: u64,
+    },
 }
 
 impl TraceEvent {
@@ -170,7 +185,8 @@ impl TraceEvent {
             | TraceEvent::Spilled { t_s, .. }
             | TraceEvent::MachineFailed { t_s, .. }
             | TraceEvent::MachineRecovered { t_s, .. }
-            | TraceEvent::EvalCacheStats { t_s, .. } => *t_s,
+            | TraceEvent::EvalCacheStats { t_s, .. }
+            | TraceEvent::DecisionReplayStats { t_s, .. } => *t_s,
         }
     }
 
@@ -186,7 +202,8 @@ impl TraceEvent {
             | TraceEvent::Spilled { job, .. } => Some(*job),
             TraceEvent::MachineFailed { .. }
             | TraceEvent::MachineRecovered { .. }
-            | TraceEvent::EvalCacheStats { .. } => None,
+            | TraceEvent::EvalCacheStats { .. }
+            | TraceEvent::DecisionReplayStats { .. } => None,
         }
     }
 }
@@ -214,6 +231,12 @@ mod tests {
             TraceEvent::MachineFailed { t_s: 8.0, machine: MachineId(0) },
             TraceEvent::MachineRecovered { t_s: 9.0, machine: MachineId(0) },
             TraceEvent::EvalCacheStats { t_s: 10.0, hits: 5, misses: 2, evictions: 0 },
+            TraceEvent::DecisionReplayStats {
+                t_s: 11.0,
+                hits: 3,
+                shards_reeval: 4,
+                full_fallbacks: 1,
+            },
         ];
         for (i, e) in events.iter().enumerate() {
             assert!((e.t_s() - (i as f64 + 1.0)).abs() < 1e-12);
@@ -221,6 +244,7 @@ mod tests {
         assert_eq!(events[0].job(), Some(JobId(1)));
         assert_eq!(events[7].job(), None);
         assert_eq!(events[9].job(), None);
+        assert_eq!(events[10].job(), None);
     }
 
     #[test]
@@ -235,6 +259,15 @@ mod tests {
         let json = serde_json::to_string(&e).expect("serializes");
         let back: TraceEvent = serde_json::from_str(&json).expect("parses");
         assert_eq!(back, e);
+        let footer = TraceEvent::DecisionReplayStats {
+            t_s: 99.0,
+            hits: 10,
+            shards_reeval: 20,
+            full_fallbacks: 2,
+        };
+        let json = serde_json::to_string(&footer).expect("serializes");
+        let back: TraceEvent = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, footer);
     }
 
     #[test]

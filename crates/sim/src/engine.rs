@@ -126,6 +126,12 @@ pub struct SimConfig {
     /// single-shard reference decision path; any count produces
     /// bit-identical [`SimResult`]s.
     pub shards: Option<usize>,
+    /// Meter per-phase wall time (decision / refresh / heap / drain) into
+    /// [`SimLoopStats`]. Off by default: the heap/refresh/drain phases
+    /// need two `Instant` reads per event, which timed benches should not
+    /// pay. Decision time is always available (the scheduler meters every
+    /// decision regardless).
+    pub phase_timing: bool,
 }
 
 /// Reads `GTS_SIM_INCREMENTAL` (cached after the first read). The
@@ -156,6 +162,7 @@ impl SimConfig {
             incremental: incremental_default(),
             eval_cache: EvalCache::enabled_by_env(),
             shards: None,
+            phase_timing: false,
         }
     }
 
@@ -248,6 +255,12 @@ impl SimConfig {
         self
     }
 
+    /// Enables the per-phase wall-time breakdown in [`SimLoopStats`].
+    pub fn with_phase_timing(mut self, on: bool) -> Self {
+        self.phase_timing = on;
+        self
+    }
+
     /// Enables execution-time jitter.
     pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&jitter), "jitter must lie in [0, 1)");
@@ -302,6 +315,30 @@ pub struct SimLoopStats {
     /// Memo-miss shards skipped outright because their bound proved no
     /// candidate could enter the selection window.
     pub shard_bound_pruned: u64,
+    /// Queue-drain retries answered from a cross-event decision snapshot
+    /// (`GTS_DECISION_REPLAY`, DESIGN.md §12). 0 with replay off, on the
+    /// single-shard path, or with the eval cache disabled.
+    pub replay_hits: u64,
+    /// Shards re-evaluated by partial replays — everything else those
+    /// retries needed was reused from the snapshot.
+    pub replay_shards_reeval: u64,
+    /// Snapshots present but unusable (epoch/guard mismatch), falling
+    /// back to the full decision path.
+    pub replay_full_fallbacks: u64,
+    /// Wall nanoseconds spent inside placement decisions (always metered).
+    pub phase_decision_ns: u64,
+    /// 99th-percentile placement-decision latency, nanoseconds (always
+    /// metered) — the retry tail a mean hides once most replays are O(1).
+    pub decision_p99_ns: u64,
+    /// Wall nanoseconds re-deriving slowdowns after event batches. 0
+    /// unless [`SimConfig::phase_timing`] is on.
+    pub phase_refresh_ns: u64,
+    /// Wall nanoseconds in completion-heap maintenance (next-completion
+    /// queries + completion processing). 0 unless phase timing is on.
+    pub phase_heap_ns: u64,
+    /// Wall nanoseconds inside `run_scheduler` queue drains (includes
+    /// `phase_decision_ns`). 0 unless phase timing is on.
+    pub phase_drain_ns: u64,
 }
 
 impl SimLoopStats {
@@ -359,7 +396,17 @@ pub struct Simulation {
     /// fixed per run), so completed-job records memoize it instead of
     /// brute-forcing every machine per completion.
     ideal_cache: HashMap<(NnModel, BatchClass, u32, u32), f64>,
+    /// Jobs with an explicit communication graph can't use `ideal_cache`
+    /// directly (the graph is part of the cost), but generated workloads
+    /// draw graphs from a tiny family, so a per-key list of seen
+    /// `(graph, ideal)` pairs resolves almost every completion with one
+    /// cheap structural compare.
+    ideal_graph_cache: HashMap<IdealKey, Vec<(gts_job::JobGraph, f64)>>,
 }
+
+/// Spec-shape key for the `ideal_for` memo tables: model, batch class,
+/// GPU count, and per-GPU memory demand.
+type IdealKey = (NnModel, BatchClass, u32, u32);
 
 impl Simulation {
     /// Builds a simulation over `cluster` with profile library `profiles`.
@@ -421,6 +468,7 @@ impl Simulation {
             stats: SimLoopStats::default(),
             max_machine_gpus,
             ideal_cache: HashMap::new(),
+            ideal_graph_cache: HashMap::new(),
         }
     }
 
@@ -442,9 +490,14 @@ impl Simulation {
             }
         }
 
+        let phase_timing = self.config.phase_timing;
         loop {
             let next_arrival = self.pending.front().map(|j| j.arrival_s);
+            let t0 = phase_timing.then(std::time::Instant::now);
             let next_completion = self.next_completion();
+            if let Some(t0) = t0 {
+                self.stats.phase_heap_ns += t0.elapsed().as_nanos() as u64;
+            }
             let next_failure = self.pending_failures.get(self.failure_cursor).map(|&(t, _)| t);
             let next_recovery =
                 self.pending_recoveries.get(self.recovery_cursor).map(|&(t, _)| t);
@@ -483,12 +536,24 @@ impl Simulation {
             self.now = t;
             self.scheduler.set_now(t);
 
+            let t0 = phase_timing.then(std::time::Instant::now);
             self.process_completions();
+            if let Some(t0) = t0 {
+                self.stats.phase_heap_ns += t0.elapsed().as_nanos() as u64;
+            }
             self.process_failures();
             self.process_recoveries();
             self.process_arrivals();
+            let t0 = phase_timing.then(std::time::Instant::now);
             self.run_scheduler();
+            if let Some(t0) = t0 {
+                self.stats.phase_drain_ns += t0.elapsed().as_nanos() as u64;
+            }
+            let t0 = phase_timing.then(std::time::Instant::now);
             self.refresh_slowdowns();
+            if let Some(t0) = t0 {
+                self.stats.phase_refresh_ns += t0.elapsed().as_nanos() as u64;
+            }
             if self.config.sample_utility {
                 self.sample_utility();
             }
@@ -520,12 +585,35 @@ impl Simulation {
                 });
             }
         }
+        if let Some(replay) = self.scheduler.decision_replay_stats() {
+            self.stats.replay_hits = replay.hits;
+            self.stats.replay_shards_reeval = replay.shards_reeval;
+            self.stats.replay_full_fallbacks = replay.full_fallbacks;
+            // Footer only when there was replay activity: traced runs take
+            // the flat reference path (tracing needs per-candidate
+            // records), so their counters are zero and replay-off traces
+            // stay comparable event-for-event without stripping.
+            if self.config.trace
+                && (replay.hits > 0 || replay.shards_reeval > 0 || replay.full_fallbacks > 0)
+            {
+                trace.push(TraceEvent::DecisionReplayStats {
+                    t_s: self.now,
+                    hits: replay.hits,
+                    shards_reeval: replay.shards_reeval,
+                    full_fallbacks: replay.full_fallbacks,
+                });
+            }
+        }
         let (checked, skipped) = self.scheduler.state().shards().admission_stats();
         self.stats.shard_admission_checked = checked;
         self.stats.shard_admission_skipped = skipped;
         let (bound_checked, bound_pruned) = self.scheduler.state().shards().bound_stats();
         self.stats.shard_bound_checked = bound_checked;
         self.stats.shard_bound_pruned = bound_pruned;
+        self.stats.phase_decision_ns =
+            self.scheduler.decision_stats().total().as_nanos() as u64;
+        self.stats.decision_p99_ns =
+            self.scheduler.decision_stats().p99().as_nanos() as u64;
         let stats = std::mem::take(&mut self.stats);
         let result = SimResult {
             policy: self.config.policy.kind,
@@ -728,41 +816,120 @@ impl Simulation {
     }
 
     fn process_completions(&mut self) {
+        if self.config.incremental {
+            self.process_completions_heap();
+            return;
+        }
         let mut i = 0;
         while i < self.running.len() {
             if self.running[i].finished() {
-                let done = self.remove_running(i);
-                for m in done.alloc.machines() {
-                    self.mark_dirty(m);
-                }
-                let alloc = self.scheduler.complete(done.alloc.spec.id);
-                debug_assert_eq!(alloc.gpus, done.alloc.gpus);
-                let ideal = self.ideal_for(&done.alloc.spec);
-                self.timeline.push(TimelineSegment {
-                    job: done.alloc.spec.id,
-                    gpus: done.alloc.gpus.clone(),
-                    start_s: done.started_at,
-                    end_s: self.now,
-                });
-                self.events.push(SimEvent::Completed {
-                    t_s: self.now,
-                    job: done.alloc.spec.id,
-                });
-                self.records.push(JobRecord {
-                    placed_at_s: done.started_at,
-                    finished_at_s: self.now,
-                    gpus: done.alloc.gpus,
-                    utility: done.alloc.utility,
-                    slo_violated: done.alloc.utility + 1e-9 < done.alloc.spec.min_utility,
-                    ideal_duration_s: ideal,
-                    postponements: self.scheduler.postpone_count(done.alloc.spec.id),
-                    restarts: self.restarts.get(&done.alloc.spec.id).copied().unwrap_or(0),
-                    spec: done.alloc.spec,
-                });
+                self.complete_at(i);
             } else {
                 i += 1;
             }
         }
+    }
+
+    /// Heap-assisted completion discovery for the incremental mode: every
+    /// finished job's completion-heap key sits within a rounding hair of
+    /// `now` (keys are exact `fl(refresh_now + eta)` samples; `finished()`
+    /// tolerates `1e-9` of leftover solo-seconds, i.e. `1e-9 × slowdown`
+    /// of wall time, and per-event integration drift adds ulps), so a band
+    /// five orders of magnitude wider than both — and still three orders
+    /// below the event spacing — bounds the candidate set. `finished()`
+    /// on the live job stays the ground truth; the band only proposes.
+    /// Processing order reproduces the reference scan exactly: the scan
+    /// always handles the finished job at the lowest vector position next
+    /// (a `swap_remove` re-examines the vacated slot, which holds the old
+    /// tail — below every other index it could have been checked at), so
+    /// draining by minimum current position is the same order.
+    fn process_completions_heap(&mut self) {
+        let band = self.now + 1e-6 + 1e-9 * self.now.abs();
+        let mut finished: Vec<JobId> = Vec::new();
+        let mut keep: Vec<(u64, JobId)> = Vec::new();
+        while let Some(&Reverse((bits, id))) = self.completion_heap.peek() {
+            if f64::from_bits(bits) > band {
+                break;
+            }
+            self.completion_heap.pop();
+            if self.heap_key.get(&id) != Some(&bits) {
+                continue; // stale entry inside the band: drop it
+            }
+            if self.running[self.job_pos[&id]].finished() {
+                // Claim the id: a re-keyed-and-back job can leave two heap
+                // entries carrying the same live bits — dropping the map
+                // entry makes any duplicate fail the liveness check above
+                // (the job is completing; `remove_running` would drop the
+                // key anyway).
+                self.heap_key.remove(&id);
+                finished.push(id);
+            } else {
+                keep.push((bits, id));
+            }
+        }
+        for e in keep {
+            self.completion_heap.push(Reverse(e));
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut by_scan: Vec<JobId> = self
+                .running
+                .iter()
+                .filter(|r| r.finished())
+                .map(|r| r.alloc.spec.id)
+                .collect();
+            by_scan.sort_unstable();
+            let mut by_heap = finished.clone();
+            by_heap.sort_unstable();
+            assert_eq!(
+                by_scan, by_heap,
+                "completion-heap band diverged from the reference scan"
+            );
+        }
+        while !finished.is_empty() {
+            let fi = finished
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, id)| self.job_pos[*id])
+                .map(|(fi, _)| fi)
+                .expect("nonempty");
+            let id = finished.swap_remove(fi);
+            let idx = self.job_pos[&id];
+            self.complete_at(idx);
+        }
+    }
+
+    /// Completes the running job at vector position `idx`: releases it
+    /// from the scheduler and appends its timeline/event/record entries.
+    fn complete_at(&mut self, idx: usize) {
+        let done = self.remove_running(idx);
+        for m in done.alloc.machines() {
+            self.mark_dirty(m);
+        }
+        let alloc = self.scheduler.complete(done.alloc.spec.id);
+        debug_assert_eq!(alloc.gpus, done.alloc.gpus);
+        let ideal = self.ideal_for(&done.alloc.spec);
+        self.timeline.push(TimelineSegment {
+            job: done.alloc.spec.id,
+            gpus: done.alloc.gpus.clone(),
+            start_s: done.started_at,
+            end_s: self.now,
+        });
+        self.events.push(SimEvent::Completed {
+            t_s: self.now,
+            job: done.alloc.spec.id,
+        });
+        self.records.push(JobRecord {
+            placed_at_s: done.started_at,
+            finished_at_s: self.now,
+            gpus: done.alloc.gpus,
+            utility: done.alloc.utility,
+            slo_violated: done.alloc.utility + 1e-9 < done.alloc.spec.min_utility,
+            ideal_duration_s: ideal,
+            postponements: self.scheduler.postpone_count(done.alloc.spec.id),
+            restarts: self.restarts.get(&done.alloc.spec.id).copied().unwrap_or(0),
+            spec: done.alloc.spec,
+        });
     }
 
     /// Brings scheduled machines back online. A recovered machine is empty,
@@ -946,21 +1113,44 @@ impl Simulation {
 
     fn ideal_for(&mut self, spec: &JobSpec) -> f64 {
         // `ideal_duration_s` depends only on the spec shape and the (fixed)
-        // machine set — memoize it for graph-free jobs. Jobs with an
-        // explicit communication graph are costed per edge, so their key
-        // would have to include the graph; they stay uncached.
+        // machine set — memoize it. Graph-free jobs key directly on the
+        // shape tuple; jobs with an explicit communication graph are costed
+        // per edge, so they key on the tuple plus a structural compare of
+        // the graph against previously seen ones (generated workloads draw
+        // graphs from a tiny family, so the list stays short).
         let key = (spec.model, spec.batch, spec.n_gpus, spec.iterations);
-        if spec.comm_graph.is_none() {
-            if let Some(&v) = self.ideal_cache.get(&key) {
-                return v;
+        match &spec.comm_graph {
+            None => {
+                if let Some(&v) = self.ideal_cache.get(&key) {
+                    return v;
+                }
+            }
+            Some(g) => {
+                if let Some(seen) = self.ideal_graph_cache.get(&key) {
+                    if let Some((_, v)) = seen.iter().find(|(sg, _)| sg == g) {
+                        return *v;
+                    }
+                }
             }
         }
-        // Homogeneous clusters (the paper's setting): machine 0 is
-        // representative. For heterogeneous clusters, take the fastest.
+        // Machines sharing a topology class share the ideal duration, so
+        // evaluate one representative per class (one machine total on the
+        // homogeneous clusters of the paper's setting). For heterogeneous
+        // clusters this still takes the fastest class.
+        let mut seen_classes: Vec<u32> = Vec::new();
         let best = self
             .cluster
             .machines()
             .filter(|&m| self.cluster.machine(m).n_gpus() >= spec.n_gpus as usize)
+            .filter(|&m| {
+                let c = self.cluster.machine_class(m);
+                if seen_classes.contains(&c) {
+                    false
+                } else {
+                    seen_classes.push(c);
+                    true
+                }
+            })
             .map(|m| ideal_duration_s(spec, self.cluster.machine(m)))
             .fold(f64::INFINITY, f64::min);
         let v = if best.is_finite() {
@@ -969,8 +1159,13 @@ impl Simulation {
             // Wider than any machine: the floor is a rack-local spill.
             crate::ideal::ideal_multi_node_duration_s(spec)
         };
-        if spec.comm_graph.is_none() {
-            self.ideal_cache.insert(key, v);
+        match &spec.comm_graph {
+            None => {
+                self.ideal_cache.insert(key, v);
+            }
+            Some(g) => {
+                self.ideal_graph_cache.entry(key).or_default().push((g.clone(), v));
+            }
         }
         v
     }
@@ -1426,6 +1621,56 @@ mod tests {
             assert_eq!(res.events, base_res.events, "par={par}");
             assert_eq!(res.makespan_s.to_bits(), base_res.makespan_s.to_bits(), "par={par}");
         }
+    }
+
+    /// Cross-event decision replay must surface its counters through
+    /// `SimLoopStats`, actually fire under a queue that retries across
+    /// completions, and leave results bit-identical to the replay-off
+    /// path. Scenario: 2 machines / 2 shards, machine-filling jobs, so
+    /// every completion re-decides the queue head after mutating exactly
+    /// one shard — the partial-replay shape — while arrival-only event
+    /// batches retry with nothing moved — the O(1) full-hit shape.
+    #[test]
+    fn decision_replay_counters_surface_in_stats() {
+        let run = |replay: bool, phase_timing: bool| {
+            let machine = power8_minsky();
+            let profiles = Arc::new(ProfileLibrary::generate(&machine, 1));
+            let cluster = Arc::new(ClusterTopology::homogeneous_racked(machine, 2, 1));
+            let trace: Vec<JobSpec> = (0..6)
+                .map(|i| {
+                    JobSpec::new(i, NnModel::AlexNet, BatchClass::Tiny, 4)
+                        .arriving_at(i as f64 * 0.5)
+                        .with_iterations(500)
+                        .with_min_utility(0.3)
+                })
+                .collect();
+            Simulation::new(
+                cluster,
+                profiles,
+                SimConfig::new(Policy::new(PolicyKind::TopoAware))
+                    .with_eval(EvalParams::parallel(2).with_decision_replay(replay))
+                    .with_eval_cache(true)
+                    .with_shards(2)
+                    .with_phase_timing(phase_timing),
+            )
+            .run_with_stats(trace)
+        };
+        let (off_res, off) = run(false, false);
+        assert_eq!(off.replay_hits, 0, "replay off must not snapshot");
+        assert_eq!(off.replay_shards_reeval, 0);
+        assert_eq!(off.replay_full_fallbacks, 0);
+        assert_eq!(off.phase_drain_ns, 0, "phase timing off leaves drain unmetered");
+        let (on_res, on) = run(true, true);
+        assert!(on.replay_hits > 0, "queue retries never replayed");
+        assert!(on.phase_decision_ns > 0, "decisions are always metered");
+        assert!(on.phase_drain_ns > 0, "phase timing on must meter the drain");
+        assert!(
+            on.phase_drain_ns >= on.phase_decision_ns / 2,
+            "the drain phase contains the decisions"
+        );
+        assert_eq!(on_res.records, off_res.records);
+        assert_eq!(on_res.events, off_res.events);
+        assert_eq!(on_res.makespan_s.to_bits(), off_res.makespan_s.to_bits());
     }
 
     /// The admission pre-pass must reject oversized jobs with the cached

@@ -410,6 +410,42 @@ fn parallel_pruned_shards_are_bit_identical_to_single_shard() {
     }
 }
 
+/// Cross-event decision replay (`GTS_DECISION_REPLAY`, DESIGN.md §12) must
+/// be bit-identical to full re-evaluation: same records, same events, same
+/// metrics, for every policy across many seeds — including machine-failure/
+/// recovery and jitter runs, where snapshots go stale mid-queue — and
+/// under every combination of the shard fan-out and bound-pruning knobs
+/// (the cached per-shard floor seeds the bound prune, so the interaction
+/// matters). The knobs are pinned through [`EvalParams`] so the matrix is
+/// exercised in-process regardless of the environment; debug builds
+/// additionally shadow every replayed retry with a from-scratch decision
+/// inside the decision path and assert GPU-for-GPU, bit-for-bit equality.
+#[test]
+fn decision_replay_is_bit_identical_to_full_reeval() {
+    for kind in PolicyKind::ALL {
+        for seed in 0..8u64 {
+            let n_racks = 4 + (seed as usize % 3);
+            let single = simulate_with_shards(seed, n_racks, kind, 1);
+            for replay in [false, true] {
+                for par in [false, true] {
+                    for bound in [false, true] {
+                        let eval = EvalParams::parallel(4)
+                            .with_shard_par(par)
+                            .with_shard_bound(bound)
+                            .with_decision_replay(replay);
+                        let run = simulate_with_shards_eval(seed, n_racks, kind, n_racks, eval);
+                        let ctx = format!(
+                            "{kind:?} seed {seed} ({n_racks} racks, replay={replay}, \
+                             par={par}, bound={bound})"
+                        );
+                        assert_runs_identical(&ctx, &single, &run);
+                    }
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
